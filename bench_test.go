@@ -1,0 +1,182 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper: run `go test -bench=. -benchmem` and each BenchmarkFigN /
+// BenchmarkTable1 emits the corresponding ASCII table once (on the first
+// iteration) and then times the underlying experiment. The cmd/ binaries
+// print the same numbers at fuller fidelity.
+package main
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/simgrad"
+)
+
+// benchOpt keeps the per-iteration cost of the figure benches moderate;
+// use cmd/sidco-* for full-fidelity runs.
+var benchOpt = harness.Options{Iters: 30, SimScale: 400, Seed: 1}
+
+// onceWriter returns os.Stdout on the first call per key and io.Discard
+// afterwards, so each figure prints exactly once under -bench.
+var (
+	onceMu   sync.Mutex
+	oncePerK = map[string]bool{}
+)
+
+func onceWriter(key string) io.Writer {
+	onceMu.Lock()
+	defer onceMu.Unlock()
+	if oncePerK[key] {
+		return io.Discard
+	}
+	oncePerK[key] = true
+	return os.Stdout
+}
+
+func benchFigure(b *testing.B, key string, f func(w io.Writer) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := f(onceWriter(key)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	benchFigure(b, "table1", func(w io.Writer) error { harness.Table1Catalog(w); return nil })
+}
+
+func BenchmarkFig1MicroSpeedupAndQuality(b *testing.B) {
+	benchFigure(b, "fig1", func(w io.Writer) error { return harness.Fig1(w, benchOpt) })
+}
+
+func BenchmarkFig2FittingNoEC(b *testing.B) {
+	benchFigure(b, "fig2", func(w io.Writer) error { return harness.Fig2(w, harness.Options{Iters: 40, Seed: 2}) })
+}
+
+func BenchmarkFig3RNNBenchmarks(b *testing.B) {
+	benchFigure(b, "fig3", func(w io.Writer) error { return harness.Fig3(w, benchOpt) })
+}
+
+func BenchmarkFig4LossAndEstimation(b *testing.B) {
+	benchFigure(b, "fig4", func(w io.Writer) error { return harness.Fig4(w, harness.Options{Iters: 30, Seed: 3}) })
+}
+
+func BenchmarkFig5CIFAR(b *testing.B) {
+	benchFigure(b, "fig5", func(w io.Writer) error { return harness.Fig5(w, benchOpt) })
+}
+
+func BenchmarkFig6ImageNet(b *testing.B) {
+	benchFigure(b, "fig6", func(w io.Writer) error { return harness.Fig6(w, benchOpt) })
+}
+
+func BenchmarkFig7Compressibility(b *testing.B) {
+	benchFigure(b, "fig7", func(w io.Writer) error { return harness.Fig7(w, harness.Options{Iters: 30, Seed: 4}) })
+}
+
+func BenchmarkFig8FittingWithEC(b *testing.B) {
+	benchFigure(b, "fig8", func(w io.Writer) error { return harness.Fig8(w, harness.Options{Iters: 40, Seed: 2}) })
+}
+
+func BenchmarkFig9SmoothedRatios(b *testing.B) {
+	benchFigure(b, "fig9", func(w io.Writer) error { return harness.Fig9(w, benchOpt) })
+}
+
+func BenchmarkFig10LossVsWallTime(b *testing.B) {
+	benchFigure(b, "fig10", func(w io.Writer) error {
+		return harness.Fig10(w, harness.Options{Iters: 30, SimScale: 400, Seed: 5})
+	})
+}
+
+func BenchmarkFig11VGG19Breakdown(b *testing.B) {
+	benchFigure(b, "fig11", func(w io.Writer) error { return harness.Fig11(w, benchOpt) })
+}
+
+func BenchmarkFig12CPUDevice(b *testing.B) {
+	benchFigure(b, "fig12", func(w io.Writer) error { return harness.Fig12(w, benchOpt) })
+}
+
+func BenchmarkFig13MultiGPUNode(b *testing.B) {
+	benchFigure(b, "fig13", func(w io.Writer) error { return harness.Fig13(w, benchOpt) })
+}
+
+func BenchmarkFig14And15ModelLatency(b *testing.B) {
+	benchFigure(b, "fig14", func(w io.Writer) error { return harness.Fig14And15(w, benchOpt) })
+}
+
+func BenchmarkFig16And17SyntheticTensors(b *testing.B) {
+	benchFigure(b, "fig16", func(w io.Writer) error { return harness.Fig16And17(w, benchOpt) })
+}
+
+func BenchmarkFig18AllSIDs(b *testing.B) {
+	benchFigure(b, "fig18", func(w io.Writer) error {
+		// One CNN + one RNN workload keeps the bench tractable; the
+		// sidco-train binary covers all six.
+		return harness.TrainingFigure(w, harness.TrainingFigureConfig{
+			Title:     "Fig 18",
+			Workloads: []string{"resnet20-cifar10", "lstm-ptb"},
+			Opt:       benchOpt,
+		})
+	})
+}
+
+// Ablation benches for the design choices called out in DESIGN.md §4.
+
+func BenchmarkAblationStages(b *testing.B) {
+	benchFigure(b, "ab-stages", func(w io.Writer) error { return harness.AblationStages(w, benchOpt) })
+}
+
+func BenchmarkAblationDelta1(b *testing.B) {
+	benchFigure(b, "ab-delta1", func(w io.Writer) error { return harness.AblationDelta1(w, benchOpt) })
+}
+
+func BenchmarkAblationAdapt(b *testing.B) {
+	benchFigure(b, "ab-adapt", func(w io.Writer) error { return harness.AblationAdapt(w, benchOpt) })
+}
+
+func BenchmarkAblationSID(b *testing.B) {
+	benchFigure(b, "ab-sid", func(w io.Writer) error { return harness.AblationSID(w, benchOpt) })
+}
+
+func BenchmarkAblationGammaApprox(b *testing.B) {
+	benchFigure(b, "ab-gamma", func(w io.Writer) error { return harness.AblationGammaApprox(w, benchOpt) })
+}
+
+func BenchmarkAblationEC(b *testing.B) {
+	benchFigure(b, "ab-ec", func(w io.Writer) error { return harness.AblationEC(w, harness.Options{Iters: 25, Seed: 7}) })
+}
+
+// Raw compressor throughput on this machine (real wall clock, 1M-element
+// gradient at delta = 0.001) — the Go-native counterpart of Figure 1.
+
+func rawGrad(dim int) []float64 {
+	gen := simgrad.New(simgrad.Config{
+		Dim: dim, Family: simgrad.FamilyDoubleGamma, Shape: 0.6, Scale: 0.01, Seed: 9,
+	})
+	return gen.Next()
+}
+
+func benchCompressor(b *testing.B, c compress.Compressor, delta float64) {
+	b.Helper()
+	g := rawGrad(1 << 20)
+	b.SetBytes(int64(8 * len(g)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(g, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressTopK(b *testing.B)      { benchCompressor(b, compress.TopK{}, 0.001) }
+func BenchmarkCompressDGC(b *testing.B)       { benchCompressor(b, compress.NewDGC(1), 0.001) }
+func BenchmarkCompressRedSync(b *testing.B)   { benchCompressor(b, compress.NewRedSync(), 0.001) }
+func BenchmarkCompressGaussianK(b *testing.B) { benchCompressor(b, compress.NewGaussianKSGD(), 0.001) }
+func BenchmarkCompressSIDCoE(b *testing.B)    { benchCompressor(b, core.NewE(), 0.001) }
+func BenchmarkCompressSIDCoGP(b *testing.B)   { benchCompressor(b, core.NewGammaGP(), 0.001) }
+func BenchmarkCompressSIDCoP(b *testing.B)    { benchCompressor(b, core.NewGP(), 0.001) }

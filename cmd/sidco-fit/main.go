@@ -1,0 +1,70 @@
+// Command sidco-fit regenerates the gradient-statistics studies: SID
+// fitting with and without error compensation (Figures 2 and 8), the
+// compressibility analysis (Figure 7), and the ablation suite over the
+// design choices called out in DESIGN.md.
+//
+// Usage:
+//
+//	sidco-fit -fig 2              # SID fits, no EC
+//	sidco-fit -fig 7              # power-law compressibility
+//	sidco-fit -fig 8              # SID fits with EC
+//	sidco-fit -fig ablations      # all ablation tables
+//	sidco-fit -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure: 2, 7, 8, ablations, all")
+	iters := flag.Int("iters", 200, "training iterations per run")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	w := os.Stdout
+	opt := harness.Options{Iters: *iters, Seed: *seed}
+	ablations := func() error {
+		for _, f := range []func() error{
+			func() error { return harness.AblationStages(w, opt) },
+			func() error { return harness.AblationDelta1(w, opt) },
+			func() error { return harness.AblationAdapt(w, opt) },
+			func() error { return harness.AblationSID(w, opt) },
+			func() error { return harness.AblationGammaApprox(w, opt) },
+			func() error { return harness.AblationEC(w, opt) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	figs := map[string]func() error{
+		"2":         func() error { return harness.Fig2(w, opt) },
+		"7":         func() error { return harness.Fig7(w, opt) },
+		"8":         func() error { return harness.Fig8(w, opt) },
+		"ablations": ablations,
+	}
+	if *fig == "all" {
+		for _, name := range []string{"2", "7", "8", "ablations"} {
+			if err := figs[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "sidco-fit: fig %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	f, ok := figs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sidco-fit: unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "sidco-fit: %v\n", err)
+		os.Exit(1)
+	}
+}

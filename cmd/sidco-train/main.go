@@ -1,0 +1,69 @@
+// Command sidco-train regenerates the paper's distributed-training
+// evaluation: Table 1 and Figures 3-6, 9-11, 13 and 18, using the
+// discrete timeline simulator calibrated to the paper's cluster and
+// communication overheads.
+//
+// Usage:
+//
+//	sidco-train -list             # print the Table 1 catalog
+//	sidco-train -fig 3            # RNN benchmarks (PTB, AN4)
+//	sidco-train -fig 5            # CIFAR-10 CNNs
+//	sidco-train -fig 6            # ImageNet CNNs
+//	sidco-train -fig 9            # smoothed achieved-ratio series
+//	sidco-train -fig 18           # all-SIDs full comparison
+//	sidco-train -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure: 3, 4, 5, 6, 9, 10, 11, 13, 18, table1, all")
+	list := flag.Bool("list", false, "print the Table 1 workload catalog and exit")
+	iters := flag.Int("iters", 100, "simulated iterations per run")
+	scale := flag.Int("scale", 100, "dimension divisor for statistical streams")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	w := os.Stdout
+	if *list {
+		harness.Table1Catalog(w)
+		return
+	}
+	opt := harness.Options{Iters: *iters, SimScale: *scale, Seed: *seed}
+	figs := map[string]func() error{
+		"table1": func() error { harness.Table1Catalog(w); return nil },
+		"3":      func() error { return harness.Fig3(w, opt) },
+		"4":      func() error { return harness.Fig4(w, opt) },
+		"5":      func() error { return harness.Fig5(w, opt) },
+		"6":      func() error { return harness.Fig6(w, opt) },
+		"9":      func() error { return harness.Fig9(w, opt) },
+		"10":     func() error { return harness.Fig10(w, opt) },
+		"11":     func() error { return harness.Fig11(w, opt) },
+		"13":     func() error { return harness.Fig13(w, opt) },
+		"18":     func() error { return harness.Fig18(w, opt) },
+	}
+	if *fig == "all" {
+		for _, name := range []string{"table1", "3", "4", "5", "6", "9", "10", "11", "13", "18"} {
+			if err := figs[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "sidco-train: fig %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	f, ok := figs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sidco-train: unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "sidco-train: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+// Package compress implements the gradient sparsifiers evaluated in the
+// SIDCo paper: exact Top-k, DGC (random sub-sampling + hierarchical
+// Top-k), RedSync (max/mean ratio search), GaussianKSGD (Gaussian fit with
+// iterative threshold adjustment), Random-k, and a no-op baseline —
+// together with the error-feedback (EC) wrapper used to preserve
+// convergence under aggressive sparsification.
+//
+// The SIDCo compressor itself lives in internal/core and satisfies the
+// same Compressor interface.
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Compressor selects a sparse subset of a gradient vector targeting a
+// compression ratio delta = k/d.
+type Compressor interface {
+	// Name returns a short identifier used in reports ("topk", "dgc", ...).
+	Name() string
+	// Compress sparsifies g at target ratio delta in (0, 1]. The returned
+	// sparse vector has ascending unique indices. Implementations must not
+	// modify g.
+	Compress(g []float64, delta float64) (*tensor.Sparse, error)
+}
+
+// TargetK converts a compression ratio to an element count: k =
+// round(delta*d), at least 1 for non-empty vectors.
+func TargetK(d int, delta float64) int {
+	if d == 0 {
+		return 0
+	}
+	k := int(math.Round(delta * float64(d)))
+	if k < 1 {
+		k = 1
+	}
+	if k > d {
+		k = d
+	}
+	return k
+}
+
+func validate(g []float64, delta float64) error {
+	if len(g) == 0 {
+		return fmt.Errorf("compress: empty gradient")
+	}
+	if math.IsNaN(delta) || delta <= 0 || delta > 1 {
+		return fmt.Errorf("compress: ratio %v outside (0, 1]", delta)
+	}
+	return nil
+}
+
+// None is the no-compression baseline: it keeps the full gradient.
+type None struct{}
+
+// Name implements Compressor.
+func (None) Name() string { return "none" }
+
+// Compress implements Compressor; delta is ignored and the whole vector is
+// kept.
+func (None) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	if len(g) == 0 {
+		return nil, fmt.Errorf("compress: empty gradient")
+	}
+	idx := make([]int32, len(g))
+	vals := make([]float64, len(g))
+	for i, gi := range g {
+		idx[i] = int32(i)
+		vals[i] = gi
+	}
+	return tensor.NewSparse(len(g), idx, vals)
+}
+
+// TopK is the exact Top-k sparsifier T_k: it keeps the k = delta*d
+// elements with the largest magnitude. It is the accuracy gold standard
+// and the computational worst case of the study.
+type TopK struct{}
+
+// Name implements Compressor.
+func (TopK) Name() string { return "topk" }
+
+// Compress implements Compressor.
+func (TopK) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	if err := validate(g, delta); err != nil {
+		return nil, err
+	}
+	k := TargetK(len(g), delta)
+	idx, vals := tensor.TopKSelect(g, k)
+	return tensor.NewSparse(len(g), idx, vals)
+}
+
+// Threshold keeps every element with |g_i| >= Eta, regardless of delta —
+// the raw compression operator C_eta of Section 2.3, exposed for tests and
+// for estimators that compute eta themselves.
+type Threshold struct {
+	Eta float64
+}
+
+// Name implements Compressor.
+func (Threshold) Name() string { return "threshold" }
+
+// Compress implements Compressor; delta is ignored.
+func (t Threshold) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	if len(g) == 0 {
+		return nil, fmt.Errorf("compress: empty gradient")
+	}
+	idx, vals := tensor.FilterAboveThreshold(g, t.Eta, nil, nil)
+	return tensor.NewSparse(len(g), idx, vals)
+}

@@ -1,0 +1,78 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// DGC implements the Deep Gradient Compression sparsifier (Lin et al.,
+// ICLR 2018): sample a random sub-population of the gradient (1% by
+// default), run Top-k on the sample to obtain a threshold, select all
+// elements above it, and — if the selection overshoots the target — run a
+// second, hierarchical Top-k on the exceedances to trim to exactly k.
+//
+// DGC estimates the threshold well (the sample quantile is consistent)
+// but pays for the random gather: fast on GPU-like devices, punishing on
+// CPUs (Figure 1b).
+type DGC struct {
+	rng *rand.Rand
+	// SampleRatio is the fraction of elements sampled for threshold
+	// estimation (paper default 0.01).
+	SampleRatio float64
+	// MinSample floors the sample size so tiny layers still estimate a
+	// usable threshold.
+	MinSample int
+}
+
+// NewDGC creates a DGC compressor with the paper's defaults (1% sample,
+// 256-element floor) and a deterministic random stream.
+func NewDGC(seed int64) *DGC {
+	return &DGC{rng: rand.New(rand.NewSource(seed)), SampleRatio: 0.01, MinSample: 256}
+}
+
+// Name implements Compressor.
+func (*DGC) Name() string { return "dgc" }
+
+// Compress implements Compressor.
+func (c *DGC) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	if err := validate(g, delta); err != nil {
+		return nil, err
+	}
+	d := len(g)
+	k := TargetK(d, delta)
+
+	// Stage 1: random sub-sample of magnitudes.
+	s := int(math.Ceil(c.SampleRatio * float64(d)))
+	if s < c.MinSample {
+		s = c.MinSample
+	}
+	if s > d {
+		s = d
+	}
+	sample := make([]float64, s)
+	for i := range sample {
+		sample[i] = math.Abs(g[c.rng.Intn(d)])
+	}
+
+	// Top-k on the sample yields the threshold estimate.
+	ks := TargetK(s, delta)
+	eta := tensor.QuickSelectKth(sample, ks)
+
+	// Stage 2: gather exceedances from the full vector.
+	idx, vals := tensor.FilterAboveThreshold(g, eta, nil, nil)
+
+	// Hierarchical trim: if the threshold under-shot and selected more
+	// than the target, a second exact Top-k over the (much smaller)
+	// exceedance set restores |selection| == k.
+	if len(idx) > k {
+		subIdx, subVals := tensor.TopKSelect(vals, k)
+		trimmedIdx := make([]int32, k)
+		for i, j := range subIdx {
+			trimmedIdx[i] = idx[j]
+		}
+		idx, vals = trimmedIdx, subVals
+	}
+	return tensor.NewSparse(d, idx, vals)
+}

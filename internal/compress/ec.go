@@ -1,0 +1,70 @@
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ErrorFeedback wraps any Compressor with the error-compensation (EC)
+// mechanism (Karimireddy et al., ICML 2019): the sparsification residual
+// of iteration i-1 is added to the gradient of iteration i before
+// compression, so no gradient mass is permanently lost. This is the
+// memory-based compression mode of Appendix B.2.
+type ErrorFeedback struct {
+	// Inner is the wrapped sparsifier.
+	Inner Compressor
+
+	residual []float64
+	buf      []float64
+}
+
+// NewErrorFeedback wraps inner with a fresh (zero) residual.
+func NewErrorFeedback(inner Compressor) *ErrorFeedback {
+	return &ErrorFeedback{Inner: inner}
+}
+
+// Name implements Compressor.
+func (e *ErrorFeedback) Name() string { return e.Inner.Name() + "+ec" }
+
+// Compress implements Compressor. It compresses g + residual and folds the
+// uncompressed remainder back into the residual. The input g is not
+// modified.
+func (e *ErrorFeedback) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	d := len(g)
+	if e.residual == nil {
+		e.residual = make([]float64, d)
+		e.buf = make([]float64, d)
+	}
+	if len(e.residual) != d {
+		return nil, fmt.Errorf("compress: EC residual dimension changed from %d to %d", len(e.residual), d)
+	}
+
+	corrected := e.buf
+	copy(corrected, g)
+	tensor.Add(e.residual, corrected)
+
+	s, err := e.Inner.Compress(corrected, delta)
+	if err != nil {
+		return nil, err
+	}
+
+	// residual = corrected - scatter(s)
+	copy(e.residual, corrected)
+	for i, j := range s.Idx {
+		e.residual[j] -= s.Vals[i]
+	}
+	return s, nil
+}
+
+// Residual exposes the current residual for tests and fitting studies
+// (Figure 8 fits gradients after EC accumulation). Callers must not
+// modify it.
+func (e *ErrorFeedback) Residual() []float64 { return e.residual }
+
+// Reset clears the residual, e.g. between independent training runs.
+func (e *ErrorFeedback) Reset() {
+	if e.residual != nil {
+		tensor.Zero(e.residual)
+	}
+}

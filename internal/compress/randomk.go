@@ -1,0 +1,84 @@
+package compress
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// RandomK keeps k = delta*d uniformly random elements, scaled by 1/delta
+// so the compressed gradient is an unbiased estimate of the original
+// (Wangni et al.). It converges noticeably worse than magnitude-based
+// selection (Lin et al.) and serves as the weak baseline.
+type RandomK struct {
+	rng *rand.Rand
+	// Unbiased controls the 1/delta scaling; the paper's comparisons use
+	// the unscaled variant, so the default is false.
+	Unbiased bool
+}
+
+// NewRandomK creates a Random-k compressor with its own deterministic
+// random stream.
+func NewRandomK(seed int64, unbiased bool) *RandomK {
+	return &RandomK{rng: rand.New(rand.NewSource(seed)), Unbiased: unbiased}
+}
+
+// Name implements Compressor.
+func (*RandomK) Name() string { return "randomk" }
+
+// Compress implements Compressor.
+func (r *RandomK) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	if err := validate(g, delta); err != nil {
+		return nil, err
+	}
+	d := len(g)
+	k := TargetK(d, delta)
+	chosen := sampleIndices(r.rng, d, k)
+	sort.Slice(chosen, func(a, b int) bool { return chosen[a] < chosen[b] })
+	idx := make([]int32, k)
+	vals := make([]float64, k)
+	scale := 1.0
+	if r.Unbiased {
+		scale = float64(d) / float64(k)
+	}
+	for i, j := range chosen {
+		idx[i] = int32(j)
+		vals[i] = g[j] * scale
+	}
+	return tensor.NewSparse(d, idx, vals)
+}
+
+// sampleIndices draws k distinct indices from [0, d). For small k it uses
+// rejection via a set; for large k a partial Fisher–Yates.
+func sampleIndices(rng *rand.Rand, d, k int) []int {
+	if k >= d {
+		out := make([]int, d)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k*8 < d {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			j := rng.Intn(d)
+			if _, dup := seen[j]; dup {
+				continue
+			}
+			seen[j] = struct{}{}
+			out = append(out, j)
+		}
+		return out
+	}
+	perm := make([]int, d)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(d-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:k]
+}

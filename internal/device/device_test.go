@@ -1,0 +1,132 @@
+package device
+
+import (
+	"testing"
+)
+
+func latency(t *testing.T, p Profile, name string, d int, delta float64, stages int) float64 {
+	t.Helper()
+	l, err := p.CompressLatency(name, d, delta, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// VGG16's dimension, the paper's Figure 1 micro-benchmark subject.
+const vgg16Dim = 14982987
+
+func TestGPUOrderingMatchesFigure1a(t *testing.T) {
+	p := GPU()
+	topk := latency(t, p, "topk", vgg16Dim, 0.001, 1)
+	dgc := latency(t, p, "dgc", vgg16Dim, 0.001, 1)
+	sidco := latency(t, p, "sidco-e", vgg16Dim, 0.001, 3)
+	redsync := latency(t, p, "redsync", vgg16Dim, 0.001, 1)
+	gauss := latency(t, p, "gaussiank", vgg16Dim, 0.001, 1)
+
+	// On GPU everything beats Top-k, and threshold-estimation methods
+	// beat DGC (Figure 1a).
+	for name, l := range map[string]float64{"dgc": dgc, "sidco": sidco, "redsync": redsync, "gauss": gauss} {
+		if l >= topk {
+			t.Errorf("GPU: %s (%.3gs) not faster than topk (%.3gs)", name, l, topk)
+		}
+	}
+	if sidco >= dgc {
+		t.Errorf("GPU: sidco (%.3gs) not faster than dgc (%.3gs)", sidco, dgc)
+	}
+	// Paper: threshold methods are ~50-60x over Top-k, DGC ~15-40x.
+	if sp := topk / sidco; sp < 20 || sp > 120 {
+		t.Errorf("GPU sidco speedup over topk = %.1fx, want within [20, 120]", sp)
+	}
+	if sp := topk / dgc; sp < 5 || sp > 60 {
+		t.Errorf("GPU dgc speedup over topk = %.1fx, want within [5, 60]", sp)
+	}
+}
+
+func TestCPUOrderingMatchesFigure1b(t *testing.T) {
+	p := CPU()
+	topk := latency(t, p, "topk", vgg16Dim, 0.001, 1)
+	dgc := latency(t, p, "dgc", vgg16Dim, 0.001, 1)
+	sidco := latency(t, p, "sidco-e", vgg16Dim, 0.001, 3)
+
+	// Figure 1b: DGC is *slower* than Top-k on CPU (random sampling);
+	// threshold methods remain faster.
+	if dgc <= topk {
+		t.Errorf("CPU: dgc (%.3gs) should be slower than topk (%.3gs)", dgc, topk)
+	}
+	if sidco >= topk {
+		t.Errorf("CPU: sidco (%.3gs) should be faster than topk (%.3gs)", sidco, topk)
+	}
+	if sp := topk / sidco; sp < 1.5 || sp > 6 {
+		t.Errorf("CPU sidco speedup = %.2fx, want within [1.5, 6]", sp)
+	}
+}
+
+func TestSIDCoStageCostGrowsSlowly(t *testing.T) {
+	p := GPU()
+	one := latency(t, p, "sidco-e", vgg16Dim, 0.001, 1)
+	four := latency(t, p, "sidco-e", vgg16Dim, 0.001, 4)
+	if four <= one {
+		t.Errorf("more stages should cost more: %v vs %v", four, one)
+	}
+	// Stage ratio 0.25 makes later stages geometrically cheap: 4 stages
+	// must cost well under 2x one stage.
+	if four > 2*one {
+		t.Errorf("stage cost explosion: 1 stage %.3g, 4 stages %.3g", one, four)
+	}
+}
+
+func TestVariantCostDifferences(t *testing.T) {
+	p := GPU()
+	e := latency(t, p, "sidco-e", vgg16Dim, 0.01, 2)
+	gp := latency(t, p, "sidco-gp", vgg16Dim, 0.01, 2)
+	if gp <= e {
+		t.Errorf("GP variant needs an extra moment pass: e=%v gp=%v", e, gp)
+	}
+}
+
+func TestECSuffixAccepted(t *testing.T) {
+	p := GPU()
+	plain := latency(t, p, "topk", 1000000, 0.01, 1)
+	ec := latency(t, p, "topk+ec", 1000000, 0.01, 1)
+	if plain != ec {
+		t.Errorf("EC wrapper should not change compression latency model")
+	}
+}
+
+func TestUnknownCompressorErrors(t *testing.T) {
+	if _, err := GPU().CompressLatency("nope", 1000, 0.1, 1); err == nil {
+		t.Error("unknown compressor should error")
+	}
+}
+
+func TestNoneIsFree(t *testing.T) {
+	if l := latency(t, GPU(), "none", vgg16Dim, 0.001, 1); l != 0 {
+		t.Errorf("none latency = %v", l)
+	}
+}
+
+func TestComputeTimeScales(t *testing.T) {
+	p := GPU()
+	small := p.ComputeTime(1000000, 32)
+	big := p.ComputeTime(10000000, 32)
+	if big <= small {
+		t.Error("compute time must grow with parameters")
+	}
+	doubleBatch := p.ComputeTime(1000000, 64)
+	if doubleBatch <= small {
+		t.Error("compute time must grow with batch")
+	}
+}
+
+func TestLatencyMonotoneInDimension(t *testing.T) {
+	for _, name := range []string{"topk", "dgc", "redsync", "gaussiank", "sidco-e"} {
+		for _, p := range []Profile{GPU(), CPU()} {
+			small := latency(t, p, name, 260000, 0.01, 2)
+			big := latency(t, p, name, 26000000, 0.01, 2)
+			if big <= small {
+				t.Errorf("%s on %s: latency not monotone in d", name, p.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func randomSparse(t *testing.T, dim, k int, seed int64) *tensor.Sparse {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(dim)[:k]
+	idxSet := make(map[int]struct{}, k)
+	for _, p := range perm {
+		idxSet[p] = struct{}{}
+	}
+	idx := make([]int32, 0, k)
+	for j := 0; j < dim; j++ {
+		if _, ok := idxSet[j]; ok {
+			idx = append(idx, int32(j))
+		}
+	}
+	vals := make([]float64, len(idx))
+	for i := range vals {
+		// Values exactly representable in float32 so round-trips compare
+		// equal.
+		vals[i] = float64(float32(rng.NormFloat64()))
+		if vals[i] == 0 {
+			vals[i] = 1
+		}
+	}
+	s, err := tensor.NewSparse(dim, idx, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	s := randomSparse(t, 1000, 50, 1)
+	for _, f := range []Format{FormatPairs, FormatBitmap, FormatDense} {
+		buf, err := Encode(s, f)
+		if err != nil {
+			t.Fatalf("format %d: %v", f, err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("format %d: %v", f, err)
+		}
+		if got.Dim != s.Dim || got.NNZ() != s.NNZ() {
+			t.Fatalf("format %d: dim/nnz mismatch", f)
+		}
+		for i := range s.Idx {
+			if got.Idx[i] != s.Idx[i] || got.Vals[i] != s.Vals[i] {
+				t.Fatalf("format %d: element %d mismatch", f, i)
+			}
+		}
+	}
+}
+
+func TestEncodedSizesMatchAccounting(t *testing.T) {
+	s := randomSparse(t, 777, 33, 2)
+	for f, want := range map[Format]int{
+		FormatPairs:  PairsSize(777, 33),
+		FormatBitmap: BitmapSize(777, 33),
+		FormatDense:  DenseSize(777),
+	} {
+		buf, err := Encode(s, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != want {
+			t.Errorf("format %d: size %d, want %d", f, len(buf), want)
+		}
+	}
+}
+
+func TestBestFormatCrossovers(t *testing.T) {
+	// Aggressive sparsity: pairs wins. Moderate: bitmap. Dense: dense.
+	d := 100000
+	if f, _ := BestFormat(d, d/1000); f != FormatPairs {
+		t.Errorf("0.1%% density: got format %d", f)
+	}
+	if f, _ := BestFormat(d, d/4); f != FormatBitmap {
+		t.Errorf("25%% density: got format %d", f)
+	}
+	if f, _ := BestFormat(d, d); f != FormatDense {
+		t.Errorf("100%% density: got format %d", f)
+	}
+	// BestFormat size must be the min of the three.
+	_, size := BestFormat(d, d/10)
+	min := PairsSize(d, d/10)
+	if s := BitmapSize(d, d/10); s < min {
+		min = s
+	}
+	if s := DenseSize(d); s < min {
+		min = s
+	}
+	if size != min {
+		t.Errorf("BestFormat size %d, want %d", size, min)
+	}
+}
+
+func TestEncodeBestRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 100, 5000, 10000} {
+		s := randomSparse(t, 10000, k, int64(k))
+		buf, err := EncodeBest(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NNZ() != s.NNZ() {
+			t.Fatalf("k=%d: NNZ %d != %d", k, got.NNZ(), s.NNZ())
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil buffer should error")
+	}
+	if _, err := Decode(make([]byte, 5)); err == nil {
+		t.Error("short buffer should error")
+	}
+	s := randomSparse(t, 100, 10, 3)
+	buf, _ := Encode(s, FormatPairs)
+	buf[0] = 99
+	if _, err := Decode(buf); err == nil {
+		t.Error("bad format byte should error")
+	}
+	buf[0] = byte(FormatPairs)
+	if _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated payload should error")
+	}
+}
+
+func TestEncodeUnknownFormat(t *testing.T) {
+	s := randomSparse(t, 10, 2, 4)
+	if _, err := Encode(s, Format(42)); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestDenseDropsExplicitZeros(t *testing.T) {
+	// A stored value that rounds to float32 zero disappears through the
+	// dense format; sizes still match the header accounting.
+	s, err := tensor.NewSparse(4, []int32{0, 2}, []float64{1, 1e-60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := Encode(s, FormatDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1 (float32 underflow drops the tiny value)", got.NNZ())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, dimRaw, kRaw uint16) bool {
+		dim := int(dimRaw%2000) + 1
+		k := int(kRaw) % (dim + 1)
+		if k == 0 {
+			k = 1
+		}
+		if k > dim {
+			k = dim
+		}
+		rng := rand.New(rand.NewSource(seed))
+		idx := make([]int32, 0, k)
+		vals := make([]float64, 0, k)
+		for j := 0; j < dim && len(idx) < k; j++ {
+			if rng.Float64() < float64(k)/float64(dim)*2 {
+				idx = append(idx, int32(j))
+				v := float64(float32(rng.NormFloat64()))
+				if v == 0 {
+					v = 1
+				}
+				vals = append(vals, v)
+			}
+		}
+		if len(idx) == 0 {
+			return true
+		}
+		s, err := tensor.NewSparse(dim, idx, vals)
+		if err != nil {
+			return false
+		}
+		for _, format := range []Format{FormatPairs, FormatBitmap} {
+			buf, err := Encode(s, format)
+			if err != nil {
+				return false
+			}
+			got, err := Decode(buf)
+			if err != nil || got.NNZ() != s.NNZ() {
+				return false
+			}
+			for i := range s.Idx {
+				if got.Idx[i] != s.Idx[i] || math.Abs(got.Vals[i]-s.Vals[i]) > 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

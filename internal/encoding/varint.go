@@ -1,0 +1,75 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// FormatDeltaVarint encodes indices as varint-encoded gaps plus packed
+// float32 values. Because sparse selections produce small, regular gaps
+// (mean gap = 1/delta), the gap stream compresses far below the 4 bytes
+// per index of the pair format — the index-compression direction the
+// paper cites (Gajjala et al., Huffman-coded DGC). Typical size at
+// delta = 0.001 is ~5.5 bytes/element vs 8 for pairs.
+const FormatDeltaVarint Format = 3
+
+// DeltaVarintMaxSize bounds the encoded size (header + values + worst
+// case 5 bytes per gap for int32 gaps).
+func DeltaVarintMaxSize(d, k int) int { return headerSize + 4*k + 5*k }
+
+// EncodeDeltaVarint serialises s with varint index gaps. Unlike the
+// fixed-layout formats its exact size is data-dependent; use the returned
+// buffer's length for accounting.
+func EncodeDeltaVarint(s *tensor.Sparse) ([]byte, error) {
+	if s.Dim > math.MaxUint32 || s.NNZ() > math.MaxUint32 {
+		return nil, fmt.Errorf("encoding: vector too large")
+	}
+	buf := make([]byte, headerSize, headerSize+9*s.NNZ())
+	putHeader(buf, FormatDeltaVarint, s.Dim, s.NNZ())
+	prev := int32(-1)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, j := range s.Idx {
+		gap := uint64(j - prev) // >= 1 by the ascending-unique invariant
+		n := binary.PutUvarint(tmp[:], gap)
+		buf = append(buf, tmp[:n]...)
+		prev = j
+	}
+	for _, v := range s.Vals {
+		var vb [4]byte
+		binary.LittleEndian.PutUint32(vb[:], math.Float32bits(float32(v)))
+		buf = append(buf, vb[:]...)
+	}
+	return buf, nil
+}
+
+// decodeDeltaVarint is the counterpart of EncodeDeltaVarint; it is wired
+// into Decode via the format byte.
+func decodeDeltaVarint(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
+	idx := make([]int32, nnz)
+	pos := headerSize
+	prev := int64(-1)
+	for i := 0; i < nnz; i++ {
+		gap, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("encoding: corrupt varint gap at element %d", i)
+		}
+		pos += n
+		prev += int64(gap)
+		if prev >= int64(dim) {
+			return nil, fmt.Errorf("encoding: decoded index %d out of dim %d", prev, dim)
+		}
+		idx[i] = int32(prev)
+	}
+	if len(buf) != pos+4*nnz {
+		return nil, fmt.Errorf("encoding: delta-varint size %d, want %d", len(buf), pos+4*nnz)
+	}
+	vals := make([]float64, nnz)
+	for i := range vals {
+		vals[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[pos:])))
+		pos += 4
+	}
+	return tensor.NewSparse(dim, idx, vals)
+}

@@ -1,0 +1,63 @@
+// Package harness assembles the experiments: a compressor registry, ASCII
+// table/series rendering, and one entry point per paper table/figure. The
+// cmd/ binaries and the benchmark suite are thin wrappers over these
+// functions, so `go test -bench` and the CLIs print the same numbers.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// CompressorNames lists the registry in the paper's presentation order.
+var CompressorNames = []string{"topk", "dgc", "redsync", "gaussiank", "sidco-e", "sidco-gp", "sidco-p"}
+
+// NewCompressor builds a fresh compressor by registry name. Stateful
+// compressors (DGC's sampler, GaussianKSGD's factor, SIDCo's stage
+// controller) are created fresh per call, so each experiment run is
+// independent; seed feeds the randomized ones.
+func NewCompressor(name string, seed int64) (compress.Compressor, error) {
+	switch name {
+	case "none":
+		return compress.None{}, nil
+	case "topk":
+		return compress.TopK{}, nil
+	case "dgc":
+		return compress.NewDGC(seed), nil
+	case "redsync":
+		return compress.NewRedSync(), nil
+	case "gaussiank":
+		return compress.NewGaussianKSGD(), nil
+	case "randomk":
+		return compress.NewRandomK(seed, false), nil
+	case "sidco-e":
+		return core.NewE(), nil
+	case "sidco-gp":
+		return core.NewGammaGP(), nil
+	case "sidco-p":
+		return core.NewGP(), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown compressor %q", name)
+	}
+}
+
+// MustCompressor is NewCompressor for static names.
+func MustCompressor(name string, seed int64) compress.Compressor {
+	c, err := NewCompressor(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Factory returns a constructor closure for dist.SimConfig.NewCompressor.
+func Factory(name string, seed int64) func() compress.Compressor {
+	return func() compress.Compressor { return MustCompressor(name, seed) }
+}
+
+// deviceGPU returns the default GPU device profile (indirection keeps the
+// figure code free of repeated imports).
+func deviceGPU() device.Profile { return device.GPU() }

@@ -1,0 +1,95 @@
+// Package netsim models the communication stage of synchronous
+// data-parallel training: ring all-reduce for dense gradients, all-gather
+// for sparse (index, value) gradients, and a parameter-server alternative.
+// Costs follow the standard alpha-beta (latency-bandwidth) collective
+// model.
+package netsim
+
+import "fmt"
+
+// Network describes the cluster fabric.
+type Network struct {
+	// Workers is the number of training nodes N.
+	Workers int
+	// BandwidthBps is per-link bandwidth in bits/second (the paper's
+	// dedicated cluster uses 25 Gbps Ethernet).
+	BandwidthBps float64
+	// LatencySec is the per-message latency alpha.
+	LatencySec float64
+}
+
+// Cluster25GbE returns the paper's dedicated 8-node cluster fabric.
+func Cluster25GbE(workers int) Network {
+	return Network{Workers: workers, BandwidthBps: 25e9, LatencySec: 20e-6}
+}
+
+// Cluster10GbE returns the 10 Gbps configuration of Section 4.1.
+func Cluster10GbE(workers int) Network {
+	return Network{Workers: workers, BandwidthBps: 10e9, LatencySec: 30e-6}
+}
+
+// NVLinkNode returns the shared multi-GPU single-node fabric of the
+// Figure 13 experiment (fast intra-node interconnect).
+func NVLinkNode(workers int) Network {
+	return Network{Workers: workers, BandwidthBps: 200e9, LatencySec: 5e-6}
+}
+
+func (n Network) validate() error {
+	if n.Workers < 1 {
+		return fmt.Errorf("netsim: %d workers", n.Workers)
+	}
+	if n.BandwidthBps <= 0 {
+		return fmt.Errorf("netsim: bandwidth %v", n.BandwidthBps)
+	}
+	return nil
+}
+
+// transfer returns the time to move b bytes over one link.
+func (n Network) transfer(bytes float64) float64 {
+	return bytes * 8 / n.BandwidthBps
+}
+
+// AllReduceDense returns the time of a ring all-reduce over a dense buffer
+// of the given size: 2(N-1) steps each moving bytes/N.
+func (n Network) AllReduceDense(bytes int) float64 {
+	if err := n.validate(); err != nil || n.Workers == 1 {
+		return 0
+	}
+	steps := float64(2 * (n.Workers - 1))
+	return steps*n.transfer(float64(bytes)/float64(n.Workers)) + steps*n.LatencySec
+}
+
+// AllGatherSparse returns the time for every worker to receive every other
+// worker's sparse gradient of the given encoded size (the collective used
+// with sparsification, since sparse buffers cannot be reduced in-ring
+// without densifying): N-1 steps each moving one worker's buffer.
+func (n Network) AllGatherSparse(bytesPerWorker int) float64 {
+	if err := n.validate(); err != nil || n.Workers == 1 {
+		return 0
+	}
+	steps := float64(n.Workers - 1)
+	return steps*n.transfer(float64(bytesPerWorker)) + steps*n.LatencySec
+}
+
+// ParameterServer returns the time for all workers to push their (sparse
+// or dense) gradient of pushBytes to a central server and pull back an
+// aggregate of pullBytes, assuming the server link is the bottleneck.
+func (n Network) ParameterServer(pushBytes, pullBytes int) float64 {
+	if err := n.validate(); err != nil || n.Workers == 1 {
+		return 0
+	}
+	inbound := float64(n.Workers) * n.transfer(float64(pushBytes))
+	outbound := float64(n.Workers) * n.transfer(float64(pullBytes))
+	return inbound + outbound + 2*n.LatencySec
+}
+
+// CommTime returns the gradient-exchange time for one iteration given the
+// dense dimension and the per-worker sparse payload size in bytes; dense
+// (nil payload semantics: bytesSparse < 0) uses ring all-reduce, sparse
+// uses all-gather.
+func (n Network) CommTime(denseBytes, sparseBytes int, compressed bool) float64 {
+	if compressed {
+		return n.AllGatherSparse(sparseBytes)
+	}
+	return n.AllReduceDense(denseBytes)
+}

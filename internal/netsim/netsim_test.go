@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllReduceDenseRingModel(t *testing.T) {
+	n := Network{Workers: 8, BandwidthBps: 25e9, LatencySec: 0}
+	bytes := 100 << 20 // 100 MiB
+	got := n.AllReduceDense(bytes)
+	// Ring: 2(N-1)/N * bytes over the wire.
+	want := 2 * 7.0 / 8.0 * float64(bytes) * 8 / 25e9
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("allreduce = %v, want %v", got, want)
+	}
+}
+
+func TestAllGatherSparseModel(t *testing.T) {
+	n := Network{Workers: 8, BandwidthBps: 25e9, LatencySec: 0}
+	bytes := 1 << 20
+	got := n.AllGatherSparse(bytes)
+	want := 7 * float64(bytes) * 8 / 25e9
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("allgather = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyTermsCounted(t *testing.T) {
+	n := Network{Workers: 4, BandwidthBps: 1e12, LatencySec: 1e-3}
+	// With huge bandwidth, latency dominates: 2(N-1) steps.
+	if got := n.AllReduceDense(1000); math.Abs(got-6e-3) > 1e-6 {
+		t.Errorf("allreduce latency share = %v", got)
+	}
+	if got := n.AllGatherSparse(1000); math.Abs(got-3e-3) > 1e-6 {
+		t.Errorf("allgather latency share = %v", got)
+	}
+}
+
+func TestSingleWorkerIsFree(t *testing.T) {
+	n := Network{Workers: 1, BandwidthBps: 25e9, LatencySec: 1e-5}
+	if n.AllReduceDense(1<<20) != 0 || n.AllGatherSparse(1<<20) != 0 || n.ParameterServer(1<<20, 1<<20) != 0 {
+		t.Error("single worker communication should be free")
+	}
+}
+
+func TestSparsificationWinsWhenSparseEnough(t *testing.T) {
+	// The entire premise of the paper: at delta = 0.001 the sparse
+	// all-gather beats the dense all-reduce even though all-gather scales
+	// worse with N.
+	n := Cluster25GbE(8)
+	d := 66034000 // LSTM-PTB parameters
+	denseBytes := 4 * d
+	sparseBytes := 8 * d / 1000 // (idx+val) per kept element at 0.001
+	dense := n.CommTime(denseBytes, 0, false)
+	sparse := n.CommTime(0, sparseBytes, true)
+	if sparse >= dense {
+		t.Errorf("sparse %v not faster than dense %v at delta=0.001", sparse, dense)
+	}
+	// And at delta ~ 0.25 the crossover flips for 8 workers: 7*2delta > 2*7/8.
+	sparseBytes = 8 * d / 4
+	sparse = n.CommTime(0, sparseBytes, true)
+	if sparse <= dense {
+		t.Errorf("sparse %v should lose to dense %v at delta=0.25", sparse, dense)
+	}
+}
+
+func TestParameterServerModel(t *testing.T) {
+	n := Network{Workers: 8, BandwidthBps: 10e9, LatencySec: 0}
+	got := n.ParameterServer(1<<20, 1<<20)
+	want := 2 * 8 * float64(1<<20) * 8 / 10e9
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("ps = %v, want %v", got, want)
+	}
+}
+
+func TestPresetClusters(t *testing.T) {
+	if c := Cluster25GbE(8); c.Workers != 8 || c.BandwidthBps != 25e9 {
+		t.Error("25GbE preset wrong")
+	}
+	if c := Cluster10GbE(8); c.BandwidthBps != 10e9 {
+		t.Error("10GbE preset wrong")
+	}
+	if c := NVLinkNode(8); c.BandwidthBps <= 25e9 {
+		t.Error("NVLink preset should be much faster than Ethernet")
+	}
+}
+
+func TestDegenerateNetworks(t *testing.T) {
+	bad := Network{Workers: 0, BandwidthBps: 1e9}
+	if bad.AllReduceDense(100) != 0 {
+		t.Error("invalid network should cost 0 (degenerate)")
+	}
+	bad = Network{Workers: 4, BandwidthBps: 0}
+	if bad.AllGatherSparse(100) != 0 {
+		t.Error("zero-bandwidth network should cost 0 (degenerate)")
+	}
+}

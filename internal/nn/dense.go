@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dense is a fully-connected layer: y = x W + b, with x of shape [B, in]
+// and y of shape [B, out].
+type Dense struct {
+	In, Out int
+	W       *Param // shape [in, out]
+	B       *Param // shape [out]
+
+	x *Tensor // cached input
+}
+
+// NewDense creates a dense layer with Glorot-uniform weights.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   newParam(name+".W", in, out),
+		B:   newParam(name+".b", out),
+	}
+	initUniform(rng, d.W.W, in, out)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.W.Name[:len(d.W.Name)-2] }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: dense %s: input shape %v, want [B, %d]", d.Name(), x.Shape, d.In))
+	}
+	d.x = x
+	batch := x.Shape[0]
+	out := NewTensor(batch, d.Out)
+	for b := 0; b < batch; b++ {
+		xRow := x.Data[b*d.In : (b+1)*d.In]
+		oRow := out.Data[b*d.Out : (b+1)*d.Out]
+		copy(oRow, d.B.W)
+		for i, xv := range xRow {
+			if xv == 0 {
+				continue
+			}
+			wRow := d.W.W[i*d.Out : (i+1)*d.Out]
+			for j, wv := range wRow {
+				oRow[j] += xv * wv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *Tensor) *Tensor {
+	batch := d.x.Shape[0]
+	gradIn := NewTensor(batch, d.In)
+	for b := 0; b < batch; b++ {
+		xRow := d.x.Data[b*d.In : (b+1)*d.In]
+		gRow := gradOut.Data[b*d.Out : (b+1)*d.Out]
+		giRow := gradIn.Data[b*d.In : (b+1)*d.In]
+		for j, gv := range gRow {
+			d.B.G[j] += gv
+		}
+		for i, xv := range xRow {
+			wRow := d.W.W[i*d.Out : (i+1)*d.Out]
+			wgRow := d.W.G[i*d.Out : (i+1)*d.Out]
+			sum := 0.0
+			for j, gv := range gRow {
+				wgRow[j] += xv * gv
+				sum += wRow[j] * gv
+			}
+			giRow[i] = sum
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Embedding maps integer token ids (encoded as float64 in the input
+// tensor) of shape [B, T] to dense vectors of shape [B, T, E].
+type Embedding struct {
+	Vocab, Dim int
+	W          *Param // shape [vocab, dim]
+
+	ids []int
+	bt  int // batch * time of the cached forward
+	t   int
+}
+
+// NewEmbedding creates an embedding table with small random init.
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{Vocab: vocab, Dim: dim, W: newParam(name+".W", vocab, dim)}
+	initUniform(rng, e.W.W, vocab, dim)
+	return e
+}
+
+// Name implements Layer.
+func (e *Embedding) Name() string { return e.W.Name[:len(e.W.Name)-2] }
+
+// Forward implements Layer.
+func (e *Embedding) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 2 {
+		panic(fmt.Sprintf("nn: embedding: input shape %v, want [B, T]", x.Shape))
+	}
+	batch, T := x.Shape[0], x.Shape[1]
+	e.bt = batch * T
+	e.t = T
+	e.ids = e.ids[:0]
+	out := NewTensor(batch, T, e.Dim)
+	for n := 0; n < batch*T; n++ {
+		id := int(x.Data[n])
+		if id < 0 || id >= e.Vocab {
+			panic(fmt.Sprintf("nn: embedding: token id %d out of vocab %d", id, e.Vocab))
+		}
+		e.ids = append(e.ids, id)
+		copy(out.Data[n*e.Dim:(n+1)*e.Dim], e.W.W[id*e.Dim:(id+1)*e.Dim])
+	}
+	return out
+}
+
+// Backward implements Layer. The returned gradient w.r.t. the integer
+// input is zero (ids are not differentiable) but has the input's shape so
+// Sequential chaining still works.
+func (e *Embedding) Backward(gradOut *Tensor) *Tensor {
+	for n, id := range e.ids {
+		g := gradOut.Data[n*e.Dim : (n+1)*e.Dim]
+		wg := e.W.G[id*e.Dim : (id+1)*e.Dim]
+		for j, gv := range g {
+			wg[j] += gv
+		}
+	}
+	return NewTensor(e.bt/e.t, e.t)
+}
+
+// Params implements Layer.
+func (e *Embedding) Params() []*Param { return []*Param{e.W} }
+
+// TimeDistributed applies a Dense layer independently at every timestep of
+// a [B, T, in] tensor, producing [B, T, out] — the output projection of
+// the language model.
+type TimeDistributed struct {
+	Inner *Dense
+
+	b, t int
+}
+
+// NewTimeDistributed wraps dense.
+func NewTimeDistributed(inner *Dense) *TimeDistributed {
+	return &TimeDistributed{Inner: inner}
+}
+
+// Name implements Layer.
+func (td *TimeDistributed) Name() string { return "td-" + td.Inner.Name() }
+
+// Forward implements Layer.
+func (td *TimeDistributed) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("nn: time-distributed: input shape %v, want [B, T, in]", x.Shape))
+	}
+	td.b, td.t = x.Shape[0], x.Shape[1]
+	flat := x.Reshape(td.b*td.t, x.Shape[2])
+	out := td.Inner.Forward(flat)
+	return out.Reshape(td.b, td.t, td.Inner.Out)
+}
+
+// Backward implements Layer.
+func (td *TimeDistributed) Backward(gradOut *Tensor) *Tensor {
+	flat := gradOut.Reshape(td.b*td.t, td.Inner.Out)
+	gradIn := td.Inner.Backward(flat)
+	return gradIn.Reshape(td.b, td.t, td.Inner.In)
+}
+
+// Params implements Layer.
+func (td *TimeDistributed) Params() []*Param { return td.Inner.Params() }

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable stage of a network. Forward must be called
+// before Backward; layers cache whatever activations they need for the
+// backward pass (single in-flight batch).
+type Layer interface {
+	// Name identifies the layer in diagnostics.
+	Name() string
+	// Forward computes the layer output for x.
+	Forward(x *Tensor) *Tensor
+	// Backward receives dL/d(output) and returns dL/d(input), adding
+	// parameter gradients into the layer's Params.
+	Backward(gradOut *Tensor) *Tensor
+	// Params returns the trainable parameters (empty for stateless
+	// layers).
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *Tensor) *Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(gradOut *Tensor) *Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// initUniform fills w with Glorot/Xavier uniform values for the given fan
+// counts.
+func initUniform(rng *rand.Rand, w []float64, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Name implements Layer.
+func (*ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *Tensor) *Tensor {
+	in := gradOut.Clone()
+	for i := range in.Data {
+		if !r.mask[i] {
+			in.Data[i] = 0
+		}
+	}
+	return in
+}
+
+// Params implements Layer.
+func (*ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	out []float64
+}
+
+// Name implements Layer.
+func (*Tanh) Name() string { return "tanh" }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *Tensor) *Tensor {
+	out := x.Clone()
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.out = append(t.out[:0], out.Data...)
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *Tensor) *Tensor {
+	in := gradOut.Clone()
+	for i := range in.Data {
+		in.Data[i] *= 1 - t.out[i]*t.out[i]
+	}
+	return in
+}
+
+// Params implements Layer.
+func (*Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	out []float64
+}
+
+// Name implements Layer.
+func (*Sigmoid) Name() string { return "sigmoid" }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *Tensor) *Tensor {
+	out := x.Clone()
+	for i, v := range x.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.out = append(s.out[:0], out.Data...)
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(gradOut *Tensor) *Tensor {
+	in := gradOut.Clone()
+	for i := range in.Data {
+		in.Data[i] *= s.out[i] * (1 - s.out[i])
+	}
+	return in
+}
+
+// Params implements Layer.
+func (*Sigmoid) Params() []*Param { return nil }
+
+// Flatten collapses all axes after the batch axis.
+type Flatten struct {
+	inShape []int
+}
+
+// Name implements Layer.
+func (*Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *Tensor) *Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	batch := x.Shape[0]
+	return x.Reshape(batch, len(x.Data)/batch)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *Tensor) *Tensor {
+	return gradOut.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (*Flatten) Params() []*Param { return nil }

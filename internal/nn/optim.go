@@ -1,0 +1,158 @@
+package nn
+
+import "math"
+
+// Optimizer applies parameter updates from accumulated gradients.
+type Optimizer interface {
+	// Name identifies the optimizer.
+	Name() string
+	// Step applies one update using each parameter's G and zeroes it.
+	Step(params []*Param)
+	// StepFlat applies one update from a flat aggregated gradient (the
+	// distributed path: gradients arrive from the collective, not from
+	// local Backward).
+	StepFlat(params []*Param, flat []float64)
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// WeightDecay is the L2 coefficient (0 to disable).
+	WeightDecay float64
+}
+
+// Name implements Optimizer.
+func (*SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i := range p.W {
+			g := p.G[i] + s.WeightDecay*p.W[i]
+			p.W[i] -= s.LR * g
+			p.G[i] = 0
+		}
+	}
+}
+
+// StepFlat implements Optimizer.
+func (s *SGD) StepFlat(params []*Param, flat []float64) {
+	off := 0
+	for _, p := range params {
+		for i := range p.W {
+			g := flat[off+i] + s.WeightDecay*p.W[i]
+			p.W[i] -= s.LR * g
+		}
+		off += len(p.W)
+	}
+}
+
+// Momentum is SGD with classical or Nesterov momentum — the paper's local
+// optimizers (Table 1 uses Nesterov momentum SGD for the RNN and ImageNet
+// benchmarks).
+type Momentum struct {
+	// LR is the learning rate.
+	LR float64
+	// Mu is the momentum coefficient (e.g. 0.9).
+	Mu float64
+	// Nesterov selects the Nesterov-accelerated update.
+	Nesterov bool
+	// WeightDecay is the L2 coefficient.
+	WeightDecay float64
+
+	vel map[*Param][]float64
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string {
+	if m.Nesterov {
+		return "nesterov"
+	}
+	return "momentum"
+}
+
+func (m *Momentum) velocity(p *Param) []float64 {
+	if m.vel == nil {
+		m.vel = make(map[*Param][]float64)
+	}
+	v, ok := m.vel[p]
+	if !ok {
+		v = make([]float64, len(p.W))
+		m.vel[p] = v
+	}
+	return v
+}
+
+// Step implements Optimizer.
+func (m *Momentum) Step(params []*Param) {
+	for _, p := range params {
+		v := m.velocity(p)
+		for i := range p.W {
+			g := p.G[i] + m.WeightDecay*p.W[i]
+			v[i] = m.Mu*v[i] + g
+			if m.Nesterov {
+				p.W[i] -= m.LR * (g + m.Mu*v[i])
+			} else {
+				p.W[i] -= m.LR * v[i]
+			}
+			p.G[i] = 0
+		}
+	}
+}
+
+// StepFlat implements Optimizer.
+func (m *Momentum) StepFlat(params []*Param, flat []float64) {
+	off := 0
+	for _, p := range params {
+		v := m.velocity(p)
+		for i := range p.W {
+			g := flat[off+i] + m.WeightDecay*p.W[i]
+			v[i] = m.Mu*v[i] + g
+			if m.Nesterov {
+				p.W[i] -= m.LR * (g + m.Mu*v[i])
+			} else {
+				p.W[i] -= m.LR * v[i]
+			}
+		}
+		off += len(p.W)
+	}
+}
+
+// ClipGradNorm rescales all parameter gradients so their global L2 norm is
+// at most maxNorm (the RNN benchmarks train with gradient clipping). It
+// returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	sum := 0.0
+	for _, p := range params {
+		for _, g := range p.G {
+			sum += g * g
+		}
+	}
+	norm := math.Sqrt(sum)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.G {
+				p.G[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// ClipFlatNorm is ClipGradNorm for a flat gradient vector.
+func ClipFlatNorm(flat []float64, maxNorm float64) float64 {
+	sum := 0.0
+	for _, g := range flat {
+		sum += g * g
+	}
+	norm := math.Sqrt(sum)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for i := range flat {
+			flat[i] *= scale
+		}
+	}
+	return norm
+}

@@ -1,0 +1,136 @@
+// Package nn is a small, exact neural-network library: dense,
+// convolutional and recurrent layers with hand-derived backpropagation,
+// softmax cross-entropy and MSE losses, and SGD-family optimizers. It
+// exists to produce genuine non-stationary gradient streams for the
+// compression experiments — the substitution for the PyTorch models the
+// paper trains — so correctness (verified by finite-difference gradient
+// checks) matters more than speed.
+package nn
+
+import "fmt"
+
+// Tensor is a dense n-dimensional array in row-major order.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor {
+	return &Tensor{Shape: shape, Data: make([]float64, Volume(shape))}
+}
+
+// Volume returns the number of elements implied by shape.
+func Volume(shape []int) int {
+	v := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("nn: negative dimension %v", shape))
+		}
+		v *= s
+	}
+	return v
+}
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reshape returns a view with a new shape of equal volume. The data is
+// shared.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if Volume(shape) != len(t.Data) {
+		panic(fmt.Sprintf("nn: reshape %v -> %v changes volume", t.Shape, shape))
+	}
+	return &Tensor{Shape: shape, Data: t.Data}
+}
+
+// Param is a trainable parameter: weights plus accumulated gradient.
+type Param struct {
+	// Name identifies the parameter in diagnostics ("dense1.W").
+	Name string
+	// W is the weight storage.
+	W []float64
+	// G is the gradient accumulated by Backward; optimizers consume and
+	// zero it.
+	G []float64
+	// Shape documents the logical shape of W.
+	Shape []int
+}
+
+func newParam(name string, shape ...int) *Param {
+	n := Volume(shape)
+	return &Param{Name: name, W: make([]float64, n), G: make([]float64, n), Shape: shape}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// ParamCount sums the weight counts of params.
+func ParamCount(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.W)
+	}
+	return n
+}
+
+// FlattenGrads concatenates all parameter gradients into dst (allocating
+// if nil) in parameter order — the vector handed to the compressor each
+// iteration.
+func FlattenGrads(params []*Param, dst []float64) []float64 {
+	n := ParamCount(params)
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	if len(dst) != n {
+		panic("nn: FlattenGrads destination size mismatch")
+	}
+	off := 0
+	for _, p := range params {
+		copy(dst[off:], p.G)
+		off += len(p.G)
+	}
+	return dst
+}
+
+// ScatterGrads writes a flat gradient vector back into the parameter
+// gradient slots — the inverse of FlattenGrads, applied after aggregation.
+func ScatterGrads(params []*Param, flat []float64) {
+	if len(flat) != ParamCount(params) {
+		panic("nn: ScatterGrads size mismatch")
+	}
+	off := 0
+	for _, p := range params {
+		copy(p.G, flat[off:off+len(p.G)])
+		off += len(p.G)
+	}
+}
+
+// FlattenWeights concatenates all weights (for checkpoint comparison in
+// tests).
+func FlattenWeights(params []*Param, dst []float64) []float64 {
+	n := ParamCount(params)
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	off := 0
+	for _, p := range params {
+		copy(dst[off:], p.W)
+		off += len(p.W)
+	}
+	return dst
+}

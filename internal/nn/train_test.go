@@ -1,0 +1,272 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// xorBatch builds the classic XOR classification problem.
+func xorBatch() (*Tensor, []int) {
+	x := NewTensor(4, 2)
+	copy(x.Data, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	return x, []int{0, 1, 1, 0}
+}
+
+func trainSteps(model *Sequential, loss Loss, opt Optimizer, x *Tensor, targets []int, steps int) float64 {
+	var l float64
+	for i := 0; i < steps; i++ {
+		model.ZeroGrad()
+		l = loss.Forward(model.Forward(x.Clone()), targets)
+		model.Backward(loss.Backward())
+		opt.Step(model.Params())
+	}
+	return l
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	model := NewSequential(
+		NewDense("d1", 2, 8, rng),
+		&Tanh{},
+		NewDense("d2", 8, 2, rng),
+	)
+	x, targets := xorBatch()
+	loss := &SoftmaxCrossEntropy{}
+	final := trainSteps(model, loss, &SGD{LR: 0.5}, x, targets, 800)
+	if final > 0.05 {
+		t.Fatalf("XOR loss after training = %v", final)
+	}
+	if acc := Accuracy(model.Forward(x.Clone()), targets); acc != 1 {
+		t.Fatalf("XOR accuracy = %v", acc)
+	}
+}
+
+func TestMomentumFasterThanSGDOnQuadratic(t *testing.T) {
+	// On an ill-conditioned quadratic (linear regression), momentum should
+	// reach a lower loss than plain SGD in the same step budget.
+	build := func(seed int64) (*Sequential, *MSE, *Tensor) {
+		rng := rand.New(rand.NewSource(seed))
+		model := NewSequential(NewDense("d", 4, 1, rng))
+		x := NewTensor(16, 4)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		// Stretch one input dimension to worsen conditioning.
+		for r := 0; r < 16; r++ {
+			x.Data[r*4] *= 8
+		}
+		loss := &MSE{}
+		vals := make([]float64, 16)
+		for i := range vals {
+			vals[i] = x.Data[i*4]*0.5 - x.Data[i*4+1]
+		}
+		loss.SetTargetValues(vals)
+		return model, loss, x
+	}
+
+	model1, loss1, x1 := build(11)
+	l1 := trainSteps(model1, loss1, &SGD{LR: 0.002}, x1, nil, 300)
+	model2, loss2, x2 := build(11)
+	l2 := trainSteps(model2, loss2, &Momentum{LR: 0.002, Mu: 0.9, Nesterov: true}, x2, nil, 300)
+	if l2 >= l1 {
+		t.Errorf("nesterov %v not better than sgd %v", l2, l1)
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := newParam("w", 4)
+	for i := range p.W {
+		p.W[i] = rng.NormFloat64()
+	}
+	before := math.Abs(p.W[0]) + math.Abs(p.W[1]) + math.Abs(p.W[2]) + math.Abs(p.W[3])
+	opt := &SGD{LR: 0.1, WeightDecay: 0.5}
+	for i := 0; i < 20; i++ {
+		opt.Step([]*Param{p}) // zero gradient: pure decay
+	}
+	after := math.Abs(p.W[0]) + math.Abs(p.W[1]) + math.Abs(p.W[2]) + math.Abs(p.W[3])
+	if after >= before {
+		t.Errorf("weights grew under decay: %v -> %v", before, after)
+	}
+}
+
+func TestStepFlatMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	build := func() []*Param {
+		a := newParam("a", 3)
+		b := newParam("b", 2)
+		for i := range a.W {
+			a.W[i] = rng.NormFloat64()
+		}
+		for i := range b.W {
+			b.W[i] = rng.NormFloat64()
+		}
+		return []*Param{a, b}
+	}
+	p1 := build()
+	rng = rand.New(rand.NewSource(13))
+	p2 := build()
+	grad := []float64{1, -2, 3, 0.5, -0.5}
+
+	// Path 1: gradient in param slots.
+	off := 0
+	for _, p := range p1 {
+		copy(p.G, grad[off:off+len(p.G)])
+		off += len(p.G)
+	}
+	o1 := &Momentum{LR: 0.1, Mu: 0.9, Nesterov: true}
+	o1.Step(p1)
+
+	// Path 2: flat gradient.
+	o2 := &Momentum{LR: 0.1, Mu: 0.9, Nesterov: true}
+	o2.StepFlat(p2, grad)
+
+	for i := range p1 {
+		for j := range p1[i].W {
+			if math.Abs(p1[i].W[j]-p2[i].W[j]) > 1e-15 {
+				t.Fatalf("param %d[%d]: %v vs %v", i, j, p1[i].W[j], p2[i].W[j])
+			}
+		}
+	}
+}
+
+func TestFlattenScatterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := newParam("a", 2, 3)
+	b := newParam("b", 4)
+	for i := range a.G {
+		a.G[i] = rng.NormFloat64()
+	}
+	for i := range b.G {
+		b.G[i] = rng.NormFloat64()
+	}
+	params := []*Param{a, b}
+	flat := FlattenGrads(params, nil)
+	if len(flat) != 10 {
+		t.Fatalf("flat len = %d", len(flat))
+	}
+	want := append(append([]float64{}, a.G...), b.G...)
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatal("flatten order wrong")
+		}
+	}
+	// Scatter back doubled values.
+	for i := range flat {
+		flat[i] *= 2
+	}
+	ScatterGrads(params, flat)
+	for i := range a.G {
+		if a.G[i] != want[i]*2 {
+			t.Fatal("scatter wrong")
+		}
+	}
+	if ParamCount(params) != 10 {
+		t.Errorf("ParamCount = %d", ParamCount(params))
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("w", 2)
+	p.G[0], p.G[1] = 3, 4 // norm 5
+	pre := ClipGradNorm([]*Param{p}, 1)
+	if pre != 5 {
+		t.Errorf("pre-clip norm = %v", pre)
+	}
+	if math.Abs(p.G[0]-0.6) > 1e-12 || math.Abs(p.G[1]-0.8) > 1e-12 {
+		t.Errorf("clipped = %v", p.G)
+	}
+	// No-op below the limit.
+	p.G[0], p.G[1] = 0.3, 0.4
+	ClipGradNorm([]*Param{p}, 1)
+	if p.G[0] != 0.3 {
+		t.Error("clip modified in-limit gradient")
+	}
+
+	flat := []float64{3, 4}
+	ClipFlatNorm(flat, 1)
+	if math.Abs(flat[0]-0.6) > 1e-12 {
+		t.Errorf("flat clip = %v", flat)
+	}
+}
+
+func TestLSTMLearnsCopyTask(t *testing.T) {
+	// Predict the previous token: a one-step memory task an LSTM must
+	// solve nearly perfectly.
+	rng := rand.New(rand.NewSource(15))
+	const vocab, T, batch = 5, 8, 8
+	model := NewSequential(
+		NewEmbedding("emb", vocab, 8, rng),
+		NewLSTM("l1", 8, 16, rng),
+		NewTimeDistributed(NewDense("out", 16, vocab, rng)),
+	)
+	loss := &SoftmaxCrossEntropy{}
+	opt := &Momentum{LR: 0.25, Mu: 0.9, Nesterov: true}
+	var final float64
+	for step := 0; step < 300; step++ {
+		x := NewTensor(batch, T)
+		targets := make([]int, batch*T)
+		for b := 0; b < batch; b++ {
+			prev := -1
+			for tt := 0; tt < T; tt++ {
+				tok := rng.Intn(vocab)
+				x.Data[b*T+tt] = float64(tok)
+				targets[b*T+tt] = prev // predict previous token
+				if tt == 0 {
+					targets[b*T+tt] = -1 // nothing to predict at t=0
+				}
+				prev = tok
+			}
+		}
+		model.ZeroGrad()
+		final = loss.Forward(model.Forward(x), targets)
+		model.Backward(loss.Backward())
+		ClipGradNorm(model.Params(), 5)
+		opt.Step(model.Params())
+	}
+	if final > 0.2 {
+		t.Errorf("copy-task loss = %v after training", final)
+	}
+}
+
+func TestPerplexity(t *testing.T) {
+	if got := Perplexity(0); got != 1 {
+		t.Errorf("Perplexity(0) = %v", got)
+	}
+	if got := Perplexity(math.Log(50)); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Perplexity(log 50) = %v", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	y := NewTensor(2, 3)
+	copy(y.Data, []float64{1, 5, 2 /* argmax 1 */, 9, 0, 3 /* argmax 0 */})
+	if got := Accuracy(y, []int{1, 0}); got != 1 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := Accuracy(y, []int{1, 2}); got != 0.5 {
+		t.Errorf("accuracy = %v", got)
+	}
+}
+
+func TestReshapeAndVolume(t *testing.T) {
+	x := NewTensor(2, 3)
+	if x.Len() != 6 || x.Dim(1) != 3 {
+		t.Fatal("tensor basics wrong")
+	}
+	y := x.Reshape(3, 2)
+	if y.Shape[0] != 3 {
+		t.Fatal("reshape wrong")
+	}
+	y.Data[0] = 7
+	if x.Data[0] != 7 {
+		t.Fatal("reshape must share data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("volume-changing reshape should panic")
+		}
+	}()
+	x.Reshape(4, 2)
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Mean(xs); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := Variance(xs); got != 2 {
+		t.Errorf("Variance = %v, want 2", got)
+	}
+	if got := SampleVariance(xs); got != 2.5 {
+		t.Errorf("SampleVariance = %v, want 2.5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("StdDev = %v, want sqrt(2)", got)
+	}
+}
+
+func TestEmptyInputsAreNaN(t *testing.T) {
+	for name, got := range map[string]float64{
+		"Mean":       Mean(nil),
+		"Variance":   Variance(nil),
+		"MeanAbs":    MeanAbs(nil),
+		"MeanLogAbs": MeanLogAbs(nil),
+		"MaxAbs":     MaxAbs(nil),
+		"Quantile":   Quantile(nil, 0.5),
+		"Kurtosis":   Kurtosis(nil),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("%s(nil) = %v, want NaN", name, got)
+		}
+	}
+	if min, max := MinMax(nil); !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Errorf("MinMax(nil) = %v, %v", min, max)
+	}
+}
+
+func TestMeanAbsAndMeanVarAbs(t *testing.T) {
+	xs := []float64{-1, 2, -3, 4}
+	if got := MeanAbs(xs); got != 2.5 {
+		t.Errorf("MeanAbs = %v, want 2.5", got)
+	}
+	m, v := MeanVarAbs(xs)
+	if m != 2.5 {
+		t.Errorf("MeanVarAbs mean = %v, want 2.5", m)
+	}
+	wantVar := Variance([]float64{1, 2, 3, 4})
+	if math.Abs(v-wantVar) > 1e-12 {
+		t.Errorf("MeanVarAbs variance = %v, want %v", v, wantVar)
+	}
+}
+
+func TestMeanVarAbsMatchesTwoPass(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 100))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m1, v1 := MeanVarAbs(xs)
+		abs := make([]float64, len(xs))
+		for i, x := range xs {
+			abs[i] = math.Abs(x)
+		}
+		m2, v2 := Mean(abs), Variance(abs)
+		scale := math.Max(1, math.Max(math.Abs(v1), math.Abs(v2)))
+		return math.Abs(m1-m2) < 1e-9*math.Max(1, m2) && math.Abs(v1-v2) < 1e-7*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxAndMaxAbs(t *testing.T) {
+	xs := []float64{3, -7, 2, 5, -1}
+	min, max := MinMax(xs)
+	if min != -7 || max != 5 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	if got := MaxAbs(xs); got != 7 {
+		t.Errorf("MaxAbs = %v, want 7", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{9}, 0.7); got != 9 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+	if got := Quantile(xs, -0.1); !math.IsNaN(got) {
+		t.Errorf("invalid q: %v", got)
+	}
+}
+
+func TestQuantileUnsortedMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	e := NewECDF(xs)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		a := Quantile(xs, q)
+		b := QuantileSorted(e.Sorted(), q)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("q=%v: %v vs %v", q, a, b)
+		}
+	}
+}
+
+func TestKurtosis(t *testing.T) {
+	// Laplace excess kurtosis is 3; Gaussian is 0.
+	lap := sampleN(Laplace{Scale: 1}, 300000, 9)
+	if k := Kurtosis(lap); math.Abs(k-3) > 0.35 {
+		t.Errorf("Laplace kurtosis = %v, want ~3", k)
+	}
+	gau := sampleN(Gaussian{Mu: 0, Sigma: 1}, 300000, 10)
+	if k := Kurtosis(gau); math.Abs(k) > 0.2 {
+		t.Errorf("Gaussian kurtosis = %v, want ~0", k)
+	}
+	if k := Kurtosis([]float64{5, 5, 5}); !math.IsNaN(k) {
+		t.Errorf("constant kurtosis = %v, want NaN", k)
+	}
+}
+
+func TestMeanLogAbsSkipsZeros(t *testing.T) {
+	got := MeanLogAbs([]float64{math.E, -math.E, 0, 0})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("MeanLogAbs = %v, want 1", got)
+	}
+	if got := MeanLogAbs([]float64{0, 0}); !math.IsNaN(got) {
+		t.Errorf("all zeros: %v, want NaN", got)
+	}
+}

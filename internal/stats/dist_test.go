@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// distCase bundles a distribution with a support range for generic checks.
+type distCase struct {
+	name string
+	d    Distribution
+	lo   float64 // left edge of interesting support for numeric checks
+	hi   float64
+}
+
+func allDistCases() []distCase {
+	return []distCase{
+		{"Exponential", Exponential{Scale: 0.7}, 1e-4, 8},
+		{"Laplace", Laplace{Scale: 0.4}, -5, 5},
+		{"Gamma(0.6)", Gamma{Shape: 0.6, Scale: 1.3}, 1e-4, 10},
+		{"Gamma(2.5)", Gamma{Shape: 2.5, Scale: 0.8}, 1e-4, 15},
+		{"DoubleGamma", DoubleGamma{Shape: 0.7, Scale: 1.1}, -8, 8},
+		{"GP(+0.3)", GeneralizedPareto{Shape: 0.3, Scale: 1.0, Loc: 0}, 1e-4, 20},
+		{"GP(-0.3)", GeneralizedPareto{Shape: -0.3, Scale: 1.0, Loc: 0}, 1e-4, 3.2},
+		{"GP(0,loc=2)", GeneralizedPareto{Shape: 0, Scale: 0.5, Loc: 2}, 2.001, 8},
+		{"DoubleGP", DoubleGP{Shape: 0.2, Scale: 0.9}, -10, 10},
+		{"Gaussian", Gaussian{Mu: 0.3, Sigma: 1.7}, -6, 7},
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for _, c := range allDistCases() {
+		prev := -1.0
+		for i := 0; i <= 200; i++ {
+			x := c.lo + (c.hi-c.lo)*float64(i)/200
+			p := c.d.CDF(x)
+			if p < prev-1e-12 {
+				t.Errorf("%s: CDF not monotone at x=%v (%v < %v)", c.name, x, p, prev)
+				break
+			}
+			if p < 0 || p > 1 {
+				t.Errorf("%s: CDF(%v) = %v out of [0,1]", c.name, x, p)
+				break
+			}
+			prev = p
+		}
+	}
+}
+
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	for _, c := range allDistCases() {
+		for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+			x := c.d.Quantile(p)
+			back := c.d.CDF(x)
+			if math.Abs(back-p) > 1e-7 {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", c.name, p, back)
+			}
+		}
+	}
+}
+
+func TestPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoidal integration of the PDF should approximate the CDF
+	// increment over the same range.
+	for _, c := range allDistCases() {
+		const n = 4000
+		lo, hi := c.lo, c.hi
+		h := (hi - lo) / n
+		sum := 0.0
+		for i := 0; i <= n; i++ {
+			x := lo + h*float64(i)
+			w := 1.0
+			if i == 0 || i == n {
+				w = 0.5
+			}
+			p := c.d.PDF(x)
+			if math.IsInf(p, 1) {
+				// Integrable singularity at 0 for gamma shape < 1; the
+				// grid point contributes nothing meaningful.
+				continue
+			}
+			sum += w * p
+		}
+		integral := sum * h
+		want := c.d.CDF(hi) - c.d.CDF(lo)
+		// Gamma with shape < 1 has an integrable singularity at 0 that the
+		// trapezoid rule resolves slowly; use a looser bound there.
+		tol := 1e-3
+		if g, ok := c.d.(Gamma); ok && g.Shape < 1 {
+			tol = 3e-2
+		}
+		if dg, ok := c.d.(DoubleGamma); ok && dg.Shape < 1 {
+			tol = 3e-2
+		}
+		if math.Abs(integral-want) > tol {
+			t.Errorf("%s: integral of PDF = %v, CDF increment = %v", c.name, integral, want)
+		}
+	}
+}
+
+func TestSampleMatchesCDF(t *testing.T) {
+	// Kolmogorov-Smirnov check of the sampler against the CDF.
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	for _, c := range allDistCases() {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = c.d.Sample(rng)
+		}
+		ks := NewECDF(xs).KSDistance(c.d)
+		// Critical value at alpha=0.001 is about 1.95/sqrt(n) ≈ 0.0138.
+		if ks > 0.02 {
+			t.Errorf("%s: KS distance %v too large for its own sampler", c.name, ks)
+		}
+	}
+}
+
+func TestLaplaceAbsIsExponential(t *testing.T) {
+	l := Laplace{Scale: 0.9}
+	e := l.Abs()
+	for _, x := range []float64{0.01, 0.2, 1, 4} {
+		// P(|X| <= x) = F(x) - F(-x)
+		want := l.CDF(x) - l.CDF(-x)
+		if math.Abs(e.CDF(x)-want) > 1e-12 {
+			t.Errorf("Abs CDF mismatch at %v: %v vs %v", x, e.CDF(x), want)
+		}
+	}
+}
+
+func TestDoubleGammaAbsConsistent(t *testing.T) {
+	d := DoubleGamma{Shape: 0.8, Scale: 1.2}
+	g := d.Abs()
+	for _, x := range []float64{0.05, 0.4, 1.5, 6} {
+		want := d.CDF(x) - d.CDF(-x)
+		if math.Abs(g.CDF(x)-want) > 1e-10 {
+			t.Errorf("DoubleGamma Abs mismatch at %v: %v vs %v", x, g.CDF(x), want)
+		}
+	}
+}
+
+func TestDoubleGPAbsConsistent(t *testing.T) {
+	d := DoubleGP{Shape: 0.25, Scale: 0.7}
+	g := d.Abs()
+	for _, x := range []float64{0.05, 0.4, 1.5, 6} {
+		want := d.CDF(x) - d.CDF(-x)
+		if math.Abs(g.CDF(x)-want) > 1e-10 {
+			t.Errorf("DoubleGP Abs mismatch at %v: %v vs %v", x, g.CDF(x), want)
+		}
+	}
+}
+
+func TestGPShapeZeroMatchesShiftedExponential(t *testing.T) {
+	gp := GeneralizedPareto{Shape: 0, Scale: 0.6, Loc: 1.5}
+	exp := Exponential{Scale: 0.6}
+	for _, x := range []float64{1.5, 1.6, 2, 3, 10} {
+		want := exp.CDF(x - 1.5)
+		if math.Abs(gp.CDF(x)-want) > 1e-12 {
+			t.Errorf("GP(0) CDF at %v: %v, want %v", x, gp.CDF(x), want)
+		}
+	}
+	// As shape -> 0 the general formula should converge to the exponential.
+	small := GeneralizedPareto{Shape: 1e-9, Scale: 0.6, Loc: 1.5}
+	for _, p := range []float64{0.1, 0.5, 0.99} {
+		if math.Abs(small.Quantile(p)-gp.Quantile(p)) > 1e-5 {
+			t.Errorf("GP shape->0 quantile mismatch at p=%v", p)
+		}
+	}
+}
+
+func TestGPNegativeShapeBoundedSupport(t *testing.T) {
+	gp := GeneralizedPareto{Shape: -0.4, Scale: 1.0, Loc: 0}
+	upper := -gp.Scale / gp.Shape // = 2.5
+	if got := gp.CDF(upper + 1); got != 1 {
+		t.Errorf("CDF above support bound = %v, want 1", got)
+	}
+	if got := gp.PDF(upper + 1); got != 0 {
+		t.Errorf("PDF above support bound = %v, want 0", got)
+	}
+	q := gp.Quantile(0.999999)
+	if q > upper+1e-6 {
+		t.Errorf("Quantile exceeds support bound: %v > %v", q, upper)
+	}
+}
+
+func TestDistributionMeans(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Distribution
+		want float64
+	}{
+		{"Exponential", Exponential{Scale: 2.5}, 2.5},
+		{"Laplace", Laplace{Scale: 3}, 0},
+		{"Gamma", Gamma{Shape: 2, Scale: 3}, 6},
+		{"GP", GeneralizedPareto{Shape: 0.25, Scale: 1.5, Loc: 1}, 1 + 1.5/0.75},
+		{"Gaussian", Gaussian{Mu: -0.7, Sigma: 2}, -0.7},
+		{"DoubleGamma", DoubleGamma{Shape: 2, Scale: 3}, 0},
+		{"DoubleGP", DoubleGP{Shape: 0.2, Scale: 1}, 0},
+	}
+	for _, c := range cases {
+		if got := c.d.Mean(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s.Mean() = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if !math.IsInf(GeneralizedPareto{Shape: 1.5, Scale: 1}.Mean(), 1) {
+		t.Error("GP with shape >= 1 should have infinite mean")
+	}
+}
+
+func TestSampleMeansConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	for _, c := range []struct {
+		name string
+		d    Distribution
+	}{
+		{"Exponential", Exponential{Scale: 1.8}},
+		{"Gamma", Gamma{Shape: 0.5, Scale: 2}},
+		{"Gamma>1", Gamma{Shape: 4, Scale: 0.5}},
+		{"GP", GeneralizedPareto{Shape: 0.2, Scale: 1, Loc: 0.5}},
+	} {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += c.d.Sample(rng)
+		}
+		got := sum / n
+		want := c.d.Mean()
+		if math.Abs(got-want) > 0.05*math.Max(1, want) {
+			t.Errorf("%s: sample mean %v, want %v", c.name, got, want)
+		}
+	}
+}
+
+func TestQuantileInvalidProbability(t *testing.T) {
+	for _, c := range allDistCases() {
+		for _, p := range []float64{-0.5, 1.5, math.NaN()} {
+			if got := c.d.Quantile(p); !math.IsNaN(got) {
+				t.Errorf("%s.Quantile(%v) = %v, want NaN", c.name, p, got)
+			}
+		}
+	}
+}
+
+func TestLaplaceSymmetry(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 10)
+		l := Laplace{Scale: 1.3}
+		return math.Abs(l.CDF(x)+l.CDF(-x)-1) < 1e-12 &&
+			math.Abs(l.PDF(x)-l.PDF(-x)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

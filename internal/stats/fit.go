@@ -1,0 +1,106 @@
+package stats
+
+import "math"
+
+// FitExponentialAbs fits Exp(beta) to the absolute values of xs by maximum
+// likelihood: beta-hat = mean|x| (Corollary 1.1). xs holds raw (signed)
+// gradient values.
+func FitExponentialAbs(xs []float64) Exponential {
+	return Exponential{Scale: MeanAbs(xs)}
+}
+
+// FitExponentialShifted fits a shifted exponential to exceedance data:
+// given |x| values all >= loc, it estimates the scale of |X| - loc ~
+// Exp(beta) as mean(|x|) - loc (Corollary 2.1, eq. 11).
+func FitExponentialShifted(absXS []float64, loc float64) Exponential {
+	return Exponential{Scale: Mean(absXS) - loc}
+}
+
+// GammaParams holds the shape/scale estimates of a gamma fit.
+type GammaParams struct {
+	Shape float64
+	Scale float64
+}
+
+// FitGammaAbs fits Gamma(alpha, beta) to the absolute values of xs using
+// Minka's closed-form approximation to the MLE (eq. 16/27 in the paper):
+//
+//	s      = log(mean|x|) - mean(log|x|)
+//	alpha  = (3 - s + sqrt((s-3)^2 + 24 s)) / (12 s)
+//	beta   = mean|x| / alpha
+//
+// Zero entries are skipped in the log-mean (they carry no shape
+// information); degenerate inputs produce NaN parameters, which callers
+// treat as "fit unavailable".
+func FitGammaAbs(xs []float64) GammaParams {
+	mu := MeanAbs(xs)
+	muLog := MeanLogAbs(xs)
+	s := math.Log(mu) - muLog
+	if !(s > 0) { // NaN or non-positive: data degenerate (constant or empty)
+		return GammaParams{Shape: math.NaN(), Scale: math.NaN()}
+	}
+	alpha := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	return GammaParams{Shape: alpha, Scale: mu / alpha}
+}
+
+// GPParams holds the shape/scale estimates of a generalized Pareto fit
+// (location is supplied by the caller as the previous-stage threshold).
+type GPParams struct {
+	Shape float64
+	Scale float64
+}
+
+// FitGPMoments fits GP(alpha, beta) by moment matching (Hosking & Wallis;
+// eq. 8-9/29 in the paper) to data with the given mean and population
+// variance of the (location-shifted) absolute values:
+//
+//	alpha = (1 - mu^2/sigma^2) / 2
+//	beta  = mu (mu^2/sigma^2 + 1) / 2
+//
+// Valid when the first two moments exist, i.e. alpha < 1/2.
+func FitGPMoments(mean, variance float64) GPParams {
+	if !(variance > 0) || !(mean > 0) {
+		return GPParams{Shape: math.NaN(), Scale: math.NaN()}
+	}
+	r := mean * mean / variance
+	return GPParams{
+		Shape: 0.5 * (1 - r),
+		Scale: 0.5 * mean * (r + 1),
+	}
+}
+
+// FitGPAbs fits GP(alpha, beta) by moment matching to the absolute values
+// of xs (location zero).
+func FitGPAbs(xs []float64) GPParams {
+	mu, v := MeanVarAbs(xs)
+	return FitGPMoments(mu, v)
+}
+
+// FitGPExceedance fits GP(alpha, beta) to exceedance magnitudes absXS (all
+// >= loc) after shifting by loc, per Lemma 2: the moments are those of
+// |g| - loc.
+func FitGPExceedance(absXS []float64, loc float64) GPParams {
+	if len(absXS) == 0 {
+		return GPParams{Shape: math.NaN(), Scale: math.NaN()}
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, a := range absXS {
+		s := a - loc
+		sum += s
+		sumSq += s * s
+	}
+	n := float64(len(absXS))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return FitGPMoments(mean, variance)
+}
+
+// FitGaussian fits a normal distribution to xs by maximum likelihood
+// (sample mean and population standard deviation). The GaussianKSGD
+// baseline uses this on raw gradients.
+func FitGaussian(xs []float64) Gaussian {
+	return Gaussian{Mu: Mean(xs), Sigma: StdDev(xs)}
+}

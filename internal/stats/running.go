@@ -1,0 +1,144 @@
+package stats
+
+import "math"
+
+// Running accumulates streaming mean and variance via Welford's algorithm.
+// The zero value is ready to use. It backs the estimation-quality metric
+// (mean ˆk/k with a 90% confidence interval) reported in every figure.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean, or NaN before any observation.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the unbiased running sample variance, or NaN with fewer
+// than two observations.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the running sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// ConfidenceInterval returns the half-width of the normal-approximation
+// confidence interval for the mean at the given confidence level in (0,1),
+// e.g. 0.90 for the paper's 90% error bars. It returns 0 with fewer than
+// two observations.
+func (r *Running) ConfidenceInterval(level float64) float64 {
+	if r.n < 2 || level <= 0 || level >= 1 {
+		return 0
+	}
+	z := NormalQuantile(0.5 + level/2)
+	return z * r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// Reset clears the accumulator.
+func (r *Running) Reset() { *r = Running{} }
+
+// EWMA is an exponentially-weighted moving average used to produce the
+// "smoothed compression ratio" series of Figure 9. The zero value with
+// Alpha set is ready to use.
+type EWMA struct {
+	// Alpha is the smoothing coefficient in (0, 1]; larger tracks faster.
+	Alpha float64
+
+	value float64
+	seen  bool
+}
+
+// Add folds x into the average and returns the updated value.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.seen {
+		e.value = x
+		e.seen = true
+		return e.value
+	}
+	e.value = e.Alpha*x + (1-e.Alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average, or NaN before any observation.
+func (e *EWMA) Value() float64 {
+	if !e.seen {
+		return math.NaN()
+	}
+	return e.value
+}
+
+// WindowMean is a fixed-size sliding-window mean, used by the stage
+// adaptation logic (average ˆk over the last Q iterations).
+type WindowMean struct {
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// NewWindowMean creates a window of the given size (must be positive).
+func NewWindowMean(size int) *WindowMean {
+	if size <= 0 {
+		panic("stats: window size must be positive")
+	}
+	return &WindowMean{buf: make([]float64, size)}
+}
+
+// Add inserts x, evicting the oldest value once the window is full.
+func (w *WindowMean) Add(x float64) {
+	if w.full {
+		w.sum -= w.buf[w.next]
+	}
+	w.buf[w.next] = x
+	w.sum += x
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Mean returns the mean over the current window contents, or NaN when
+// empty.
+func (w *WindowMean) Mean() float64 {
+	n := w.Count()
+	if n == 0 {
+		return math.NaN()
+	}
+	return w.sum / float64(n)
+}
+
+// Count returns the number of values currently in the window.
+func (w *WindowMean) Count() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Reset clears the window.
+func (w *WindowMean) Reset() {
+	w.next = 0
+	w.full = false
+	w.sum = 0
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+		r.Add(xs[i])
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-Mean(xs)) > 1e-10 {
+		t.Errorf("mean: %v vs %v", r.Mean(), Mean(xs))
+	}
+	if math.Abs(r.Variance()-SampleVariance(xs)) > 1e-9 {
+		t.Errorf("variance: %v vs %v", r.Variance(), SampleVariance(xs))
+	}
+}
+
+func TestRunningEmptyAndReset(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) {
+		t.Error("empty mean should be NaN")
+	}
+	if !math.IsNaN(r.Variance()) {
+		t.Error("empty variance should be NaN")
+	}
+	if r.ConfidenceInterval(0.9) != 0 {
+		t.Error("empty CI should be 0")
+	}
+	r.Add(1)
+	r.Add(2)
+	r.Reset()
+	if r.N() != 0 || !math.IsNaN(r.Mean()) {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestRunningConfidenceInterval(t *testing.T) {
+	var r Running
+	for i := 0; i < 100; i++ {
+		r.Add(float64(i % 2)) // mean 0.5, sd ~0.5025
+	}
+	ci := r.ConfidenceInterval(0.90)
+	want := 1.6448536269514722 * r.StdDev() / 10
+	if math.Abs(ci-want) > 1e-12 {
+		t.Errorf("CI = %v, want %v", ci, want)
+	}
+	if r.ConfidenceInterval(0) != 0 || r.ConfidenceInterval(1) != 0 {
+		t.Error("invalid level should give 0")
+	}
+}
+
+func TestRunningCICoverage(t *testing.T) {
+	// ~90% of 90% CIs over repeated draws should cover the true mean.
+	rng := rand.New(rand.NewSource(13))
+	const trials, perTrial = 400, 60
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var r Running
+		for i := 0; i < perTrial; i++ {
+			r.Add(rng.NormFloat64() + 2)
+		}
+		ci := r.ConfidenceInterval(0.90)
+		if math.Abs(r.Mean()-2) <= ci {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.84 || rate > 0.96 {
+		t.Errorf("coverage rate = %v, want ~0.90", rate)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if !math.IsNaN(e.Value()) {
+		t.Error("empty EWMA should be NaN")
+	}
+	if got := e.Add(4); got != 4 {
+		t.Errorf("first Add = %v, want 4", got)
+	}
+	if got := e.Add(0); got != 2 {
+		t.Errorf("second Add = %v, want 2", got)
+	}
+	if got := e.Add(2); got != 2 {
+		t.Errorf("third Add = %v, want 2", got)
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := EWMA{Alpha: 0.1}
+	for i := 0; i < 500; i++ {
+		e.Add(7)
+	}
+	if math.Abs(e.Value()-7) > 1e-9 {
+		t.Errorf("EWMA of constant = %v", e.Value())
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	w := NewWindowMean(3)
+	if !math.IsNaN(w.Mean()) || w.Count() != 0 {
+		t.Error("empty window state wrong")
+	}
+	w.Add(1)
+	w.Add(2)
+	if w.Mean() != 1.5 || w.Count() != 2 {
+		t.Errorf("partial window: mean=%v count=%d", w.Mean(), w.Count())
+	}
+	w.Add(3)
+	if w.Mean() != 2 || w.Count() != 3 {
+		t.Errorf("full window: mean=%v count=%d", w.Mean(), w.Count())
+	}
+	w.Add(10) // evicts 1 -> {2,3,10}
+	if w.Mean() != 5 {
+		t.Errorf("after eviction: mean=%v", w.Mean())
+	}
+	w.Reset()
+	if w.Count() != 0 || !math.IsNaN(w.Mean()) {
+		t.Error("reset did not clear window")
+	}
+}
+
+func TestWindowMeanMatchesNaive(t *testing.T) {
+	f := func(raw []float64, sizeRaw uint8) bool {
+		size := int(sizeRaw%16) + 1
+		w := NewWindowMean(size)
+		var hist []float64
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			x = math.Mod(x, 1000)
+			w.Add(x)
+			hist = append(hist, x)
+			lo := 0
+			if len(hist) > size {
+				lo = len(hist) - size
+			}
+			want := Mean(hist[lo:])
+			if math.Abs(w.Mean()-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowMeanPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size 0")
+		}
+	}()
+	NewWindowMean(0)
+}

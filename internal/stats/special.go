@@ -1,0 +1,242 @@
+// Package stats provides the statistical substrate for SIDCo: special
+// functions, sparsity-inducing distributions (exponential, gamma,
+// generalized Pareto) with closed-form fitters, empirical distribution
+// utilities, and descriptive statistics.
+//
+// Everything is implemented from scratch on top of the Go standard library
+// (math, math/rand) so the repository is self-contained and offline.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConverge is returned by iterative special-function routines that
+// exhaust their iteration budget without reaching the requested tolerance.
+var ErrNoConverge = errors.New("stats: iteration did not converge")
+
+const (
+	specialEps     = 1e-14
+	specialMaxIter = 300
+)
+
+// RegularizedGammaP computes P(a, x), the regularized lower incomplete
+// gamma function: P(a,x) = γ(a,x)/Γ(a) for a > 0, x >= 0.
+//
+// It uses the series expansion for x < a+1 and the continued fraction for
+// x >= a+1 (Numerical Recipes style), which together cover the full domain
+// with relative error near machine precision.
+func RegularizedGammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case math.IsInf(x, 1):
+		return 1
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x)
+	}
+	return 1 - gammaQContinuedFraction(a, x)
+}
+
+// RegularizedGammaQ computes Q(a, x) = 1 - P(a, x), the regularized upper
+// incomplete gamma function.
+func RegularizedGammaQ(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 1
+	case math.IsInf(x, 1):
+		return 0
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+// gammaPSeries evaluates P(a,x) by its power series, accurate for x < a+1.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < specialMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*specialEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) by its continued fraction
+// (modified Lentz), accurate for x >= a+1.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= specialMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < specialEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// InverseRegularizedGammaP returns x such that P(a, x) = p for a > 0 and
+// p in [0, 1). It seeds with the Wilson–Hilferty approximation and polishes
+// with Halley-accelerated Newton iterations on P(a,x) - p.
+//
+// This is the exact quantile route for the gamma-distributed absolute
+// gradients of Corollary 1.2; SIDCo's hot path uses the closed-form
+// approximation instead, and tests compare the two.
+func InverseRegularizedGammaP(a, p float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(p) || p < 0 || p >= 1:
+		return math.NaN()
+	case p == 0:
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+
+	// Wilson–Hilferty initial guess.
+	var x float64
+	if a > 0.5 {
+		z := NormalQuantile(p)
+		t := 1 - 1/(9*a) + z/(3*math.Sqrt(a))
+		x = a * t * t * t
+	} else {
+		// Small-shape seed from the series leading term:
+		// P(a,x) ~ x^a / (a*Gamma(a)) for small x.
+		x = math.Exp((math.Log(p) + lg + math.Log(a)) / a)
+	}
+	if x <= 0 || math.IsNaN(x) {
+		x = a // fall back to the mean
+	}
+
+	for i := 0; i < 60; i++ {
+		f := RegularizedGammaP(a, x) - p
+		// dP/dx = x^(a-1) e^-x / Gamma(a)
+		lpdf := (a-1)*math.Log(x) - x - lg
+		df := math.Exp(lpdf)
+		if df == 0 {
+			break
+		}
+		// Halley step: second derivative factor ((a-1)/x - 1).
+		u := f / df
+		step := u / (1 - 0.5*math.Min(1, math.Max(-1, u*((a-1)/x-1))))
+		xNew := x - step
+		if xNew <= 0 {
+			xNew = x / 2
+		}
+		if math.Abs(xNew-x) < specialEps*math.Max(1, x) {
+			return xNew
+		}
+		x = xNew
+	}
+	return x
+}
+
+// Digamma computes psi(x), the logarithmic derivative of the gamma
+// function, for x > 0, via the standard recurrence plus an asymptotic
+// expansion in 1/x^2.
+func Digamma(x float64) float64 {
+	if math.IsNaN(x) || x <= 0 && x == math.Trunc(x) {
+		return math.NaN()
+	}
+	// Reflection for negative non-integer arguments.
+	if x < 0 {
+		return Digamma(1-x) - math.Pi/math.Tan(math.Pi*x)
+	}
+	result := 0.0
+	for x < 6 {
+		result -= 1 / x
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// Asymptotic series: ln x - 1/(2x) - sum B_2n/(2n x^2n).
+	series := inv2 * (1.0/12 - inv2*(1.0/120-inv2*(1.0/252-inv2*(1.0/240-inv2/132*0.75757575757575757576))))
+	return result + math.Log(x) - 0.5*inv - series
+}
+
+// NormalQuantile returns the quantile (inverse CDF) of the standard normal
+// distribution at probability p in (0, 1), using the Acklam rational
+// approximation refined by one Halley step against math.Erfc. Absolute
+// error is below 1e-13 across the domain.
+func NormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+
+	// Acklam coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+
+	// One Halley refinement against the exact CDF.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// NormalCDF returns the standard normal cumulative distribution function
+// at x.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// LogGamma returns ln|Γ(x)|, a thin convenience wrapper over math.Lgamma
+// that drops the sign (all SIDCo uses have x > 0).
+func LogGamma(x float64) float64 {
+	lg, _ := math.Lgamma(x)
+	return lg
+}

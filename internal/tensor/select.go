@@ -1,0 +1,200 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+)
+
+// TopKSelect returns the indices and values of the k elements of g with
+// the largest absolute value, using an expected-O(d) quickselect to find
+// the magnitude cutoff followed by a filtering pass. Ties at the cutoff
+// are broken by index order so exactly k elements are returned (or all of
+// them when k >= len(g)). The returned indices are ascending.
+//
+// This is the exact Top-k operator T_k of Definition 1 and the reference
+// against which every threshold estimator is judged.
+func TopKSelect(g []float64, k int) (idx []int32, vals []float64) {
+	d := len(g)
+	if k <= 0 || d == 0 {
+		return nil, nil
+	}
+	if k >= d {
+		idx = make([]int32, d)
+		vals = make([]float64, d)
+		for i, gi := range g {
+			idx[i] = int32(i)
+			vals[i] = gi
+		}
+		return idx, vals
+	}
+
+	abs := make([]float64, d)
+	for i, gi := range g {
+		abs[i] = math.Abs(gi)
+	}
+	cutoff := QuickSelectKth(abs, k) // k-th largest magnitude
+
+	idx = make([]int32, 0, k)
+	vals = make([]float64, 0, k)
+	// First pass: strictly above the cutoff (guaranteed < k elements).
+	for i, gi := range g {
+		if math.Abs(gi) > cutoff {
+			idx = append(idx, int32(i))
+			vals = append(vals, gi)
+		}
+	}
+	// Second pass: fill the remainder with elements equal to the cutoff.
+	need := k - len(idx)
+	if need > 0 {
+		extraIdx := make([]int32, 0, need)
+		extraVals := make([]float64, 0, need)
+		for i, gi := range g {
+			if math.Abs(gi) == cutoff {
+				extraIdx = append(extraIdx, int32(i))
+				extraVals = append(extraVals, gi)
+				if len(extraIdx) == need {
+					break
+				}
+			}
+		}
+		idx, vals = mergeSortedByIndex(idx, vals, extraIdx, extraVals)
+	}
+	return idx, vals
+}
+
+// mergeSortedByIndex merges two (index, value) lists, each ascending by
+// index, into one ascending list.
+func mergeSortedByIndex(ai []int32, av []float64, bi []int32, bv []float64) ([]int32, []float64) {
+	outI := make([]int32, 0, len(ai)+len(bi))
+	outV := make([]float64, 0, len(av)+len(bv))
+	i, j := 0, 0
+	for i < len(ai) && j < len(bi) {
+		if ai[i] < bi[j] {
+			outI = append(outI, ai[i])
+			outV = append(outV, av[i])
+			i++
+		} else {
+			outI = append(outI, bi[j])
+			outV = append(outV, bv[j])
+			j++
+		}
+	}
+	outI = append(outI, ai[i:]...)
+	outV = append(outV, av[i:]...)
+	outI = append(outI, bi[j:]...)
+	outV = append(outV, bv[j:]...)
+	return outI, outV
+}
+
+// QuickSelectKth returns the k-th largest value of xs (k is 1-based:
+// k=1 returns the maximum). It partially reorders xs in place; pass a copy
+// if the original order matters. It panics if k is out of range.
+//
+// The pivot is chosen by median-of-three, giving expected linear time on
+// the heavy-tailed magnitude vectors gradients produce.
+func QuickSelectKth(xs []float64, k int) float64 {
+	if k < 1 || k > len(xs) {
+		panic("tensor: QuickSelectKth k out of range")
+	}
+	// Select the element with descending rank k, i.e. ascending index
+	// len(xs)-k.
+	target := len(xs) - k
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		p := partition(xs, lo, hi)
+		switch {
+		case p == target:
+			return xs[p]
+		case p < target:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return xs[target]
+}
+
+// partition performs Lomuto partition around a median-of-three pivot and
+// returns the pivot's final index.
+func partition(xs []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Order xs[lo] <= xs[mid] <= xs[hi], then use xs[mid] as the pivot by
+	// stashing it at hi-1... simpler: move median to hi.
+	if xs[mid] < xs[lo] {
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+	}
+	if xs[hi] < xs[lo] {
+		xs[hi], xs[lo] = xs[lo], xs[hi]
+	}
+	if xs[hi] < xs[mid] {
+		xs[hi], xs[mid] = xs[mid], xs[hi]
+	}
+	xs[mid], xs[hi] = xs[hi], xs[mid]
+	pivot := xs[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[hi] = xs[hi], xs[i]
+	return i
+}
+
+// TopKThreshold returns the magnitude of the k-th largest |g_i| — the
+// oracle threshold a perfect estimator would produce. It does not modify
+// g.
+func TopKThreshold(g []float64, k int) float64 {
+	if k <= 0 || len(g) == 0 {
+		return math.Inf(1)
+	}
+	if k >= len(g) {
+		return 0
+	}
+	abs := make([]float64, len(g))
+	for i, gi := range g {
+		abs[i] = math.Abs(gi)
+	}
+	return QuickSelectKth(abs, k)
+}
+
+// TopKSort is a sort-based O(d log d) top-k used as a differential-testing
+// oracle for TopKSelect and as the "slow Top-k" arm of the device model.
+// Indices are returned in ascending order.
+func TopKSort(g []float64, k int) (idx []int32, vals []float64) {
+	d := len(g)
+	if k <= 0 || d == 0 {
+		return nil, nil
+	}
+	if k > d {
+		k = d
+	}
+	order := make([]int32, d)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return math.Abs(g[order[a]]) > math.Abs(g[order[b]])
+	})
+	top := order[:k]
+	sort.Slice(top, func(a, b int) bool { return top[a] < top[b] })
+	idx = make([]int32, k)
+	vals = make([]float64, k)
+	for i, j := range top {
+		idx[i] = j
+		vals[i] = g[j]
+	}
+	return idx, vals
+}
+
+// SortedAbsDescending returns |g| sorted in descending order — the
+// compressibility diagnostic vector of Figure 7a.
+func SortedAbsDescending(g []float64) []float64 {
+	abs := make([]float64, len(g))
+	for i, gi := range g {
+		abs[i] = math.Abs(gi)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(abs)))
+	return abs
+}

@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse is a sparse gradient vector: the (index, value) pairs a
+// compressor keeps, plus the dense dimension. Indices are ascending and
+// unique; NewSparse enforces this invariant.
+type Sparse struct {
+	Dim  int
+	Idx  []int32
+	Vals []float64
+}
+
+// NewSparse constructs a Sparse after validating the invariants: equal
+// index/value lengths, indices in [0, dim) and strictly ascending.
+func NewSparse(dim int, idx []int32, vals []float64) (*Sparse, error) {
+	if len(idx) != len(vals) {
+		return nil, fmt.Errorf("tensor: index/value length mismatch: %d vs %d", len(idx), len(vals))
+	}
+	prev := int32(-1)
+	for _, i := range idx {
+		if i <= prev {
+			return nil, fmt.Errorf("tensor: indices not strictly ascending at %d", i)
+		}
+		if int(i) >= dim {
+			return nil, fmt.Errorf("tensor: index %d out of range for dim %d", i, dim)
+		}
+		prev = i
+	}
+	return &Sparse{Dim: dim, Idx: idx, Vals: vals}, nil
+}
+
+// NNZ returns the number of stored non-zeros.
+func (s *Sparse) NNZ() int { return len(s.Idx) }
+
+// Dense scatters the sparse vector into a fresh dense slice of length Dim.
+func (s *Sparse) Dense() []float64 {
+	out := make([]float64, s.Dim)
+	for i, j := range s.Idx {
+		out[j] = s.Vals[i]
+	}
+	return out
+}
+
+// AddTo scatters s into dst (dst[j] += v), which must have length Dim.
+func (s *Sparse) AddTo(dst []float64) {
+	if len(dst) != s.Dim {
+		panic("tensor: AddTo dimension mismatch")
+	}
+	for i, j := range s.Idx {
+		dst[j] += s.Vals[i]
+	}
+}
+
+// Scale multiplies all stored values by a in place.
+func (s *Sparse) Scale(a float64) {
+	for i := range s.Vals {
+		s.Vals[i] *= a
+	}
+}
+
+// SumSparse accumulates several sparse vectors (all with the same Dim)
+// into a single sparse vector whose indices are the union of the inputs.
+// This models the all-gather aggregation path of sparse collectives.
+func SumSparse(vs []*Sparse) (*Sparse, error) {
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("tensor: SumSparse of no vectors")
+	}
+	dim := vs[0].Dim
+	acc := make(map[int32]float64)
+	for _, v := range vs {
+		if v.Dim != dim {
+			return nil, fmt.Errorf("tensor: SumSparse dimension mismatch: %d vs %d", v.Dim, dim)
+		}
+		for i, j := range v.Idx {
+			acc[j] += v.Vals[i]
+		}
+	}
+	idx := make([]int32, 0, len(acc))
+	for j := range acc {
+		idx = append(idx, j)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	vals := make([]float64, len(idx))
+	for i, j := range idx {
+		vals[i] = acc[j]
+	}
+	return &Sparse{Dim: dim, Idx: idx, Vals: vals}, nil
+}

@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSparseValidation(t *testing.T) {
+	if _, err := NewSparse(5, []int32{0, 2}, []float64{1, 2}); err != nil {
+		t.Fatalf("valid sparse rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		dim  int
+		idx  []int32
+		vals []float64
+	}{
+		{"length mismatch", 5, []int32{0}, []float64{1, 2}},
+		{"not ascending", 5, []int32{2, 1}, []float64{1, 2}},
+		{"duplicate", 5, []int32{1, 1}, []float64{1, 2}},
+		{"out of range", 2, []int32{0, 2}, []float64{1, 2}},
+	}
+	for _, c := range cases {
+		if _, err := NewSparse(c.dim, c.idx, c.vals); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSparseDenseRoundTrip(t *testing.T) {
+	s, err := NewSparse(6, []int32{1, 4}, []float64{-2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 2 {
+		t.Errorf("NNZ = %d", s.NNZ())
+	}
+	d := s.Dense()
+	want := []float64{0, -2, 0, 0, 3, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Dense = %v", d)
+		}
+	}
+}
+
+func TestSparseAddToAndScale(t *testing.T) {
+	s, _ := NewSparse(3, []int32{0, 2}, []float64{1, 2})
+	dst := []float64{10, 10, 10}
+	s.AddTo(dst)
+	if dst[0] != 11 || dst[1] != 10 || dst[2] != 12 {
+		t.Fatalf("AddTo = %v", dst)
+	}
+	s.Scale(2)
+	if s.Vals[0] != 2 || s.Vals[1] != 4 {
+		t.Fatalf("Scale = %v", s.Vals)
+	}
+}
+
+func TestSparseAddToDimMismatchPanics(t *testing.T) {
+	s, _ := NewSparse(3, []int32{0}, []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.AddTo(make([]float64, 2))
+}
+
+func TestSumSparse(t *testing.T) {
+	a, _ := NewSparse(5, []int32{0, 3}, []float64{1, 2})
+	b, _ := NewSparse(5, []int32{3, 4}, []float64{10, 20})
+	sum, err := SumSparse([]*Sparse{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := sum.Dense()
+	want := []float64{1, 0, 0, 12, 20}
+	for i := range want {
+		if math.Abs(dense[i]-want[i]) > 1e-15 {
+			t.Fatalf("SumSparse dense = %v", dense)
+		}
+	}
+	// Indices must come out ascending.
+	for i := 1; i < len(sum.Idx); i++ {
+		if sum.Idx[i] <= sum.Idx[i-1] {
+			t.Fatalf("indices not ascending: %v", sum.Idx)
+		}
+	}
+}
+
+func TestSumSparseErrors(t *testing.T) {
+	if _, err := SumSparse(nil); err == nil {
+		t.Error("empty sum should error")
+	}
+	a, _ := NewSparse(5, []int32{0}, []float64{1})
+	b, _ := NewSparse(6, []int32{0}, []float64{1})
+	if _, err := SumSparse([]*Sparse{a, b}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}

@@ -1,0 +1,159 @@
+// Package tensor provides the dense/sparse vector substrate for gradient
+// compression: elementwise operations, exact top-k selection via
+// quickselect and sorting, threshold filtering, and a sparse vector type
+// that carries (index, value) pairs between compressor and collective.
+package tensor
+
+import "math"
+
+// Axpy computes y += a*x elementwise. The two slices must have equal
+// length.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}
+
+// Scale multiplies every element of x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Add computes y += x elementwise.
+func Add(x, y []float64) { Axpy(1, x, y) }
+
+// Sub computes y -= x elementwise.
+func Sub(x, y []float64) { Axpy(-1, x, y) }
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) { Fill(x, 0) }
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Abs writes |x| into dst and returns it; dst may be x itself for in-place
+// operation, or nil to allocate.
+func Abs(x, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(x))
+	}
+	if len(dst) != len(x) {
+		panic("tensor: Abs length mismatch")
+	}
+	for i, xi := range x {
+		dst[i] = math.Abs(xi)
+	}
+	return dst
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	sum := 0.0
+	for i, xi := range x {
+		sum += xi * y[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	sum := 0.0
+	for _, xi := range x {
+		sum += xi * xi
+	}
+	return math.Sqrt(sum)
+}
+
+// Norm1 returns the l1 norm of x.
+func Norm1(x []float64) float64 {
+	sum := 0.0
+	for _, xi := range x {
+		sum += math.Abs(xi)
+	}
+	return sum
+}
+
+// NormInf returns the l-infinity norm of x.
+func NormInf(x []float64) float64 {
+	max := 0.0
+	for _, xi := range x {
+		if a := math.Abs(xi); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// CountAboveThreshold returns the number of elements with |x_i| >= eta —
+// the single O(d) pass at the heart of threshold sparsification.
+func CountAboveThreshold(x []float64, eta float64) int {
+	n := 0
+	for _, xi := range x {
+		if math.Abs(xi) >= eta {
+			n++
+		}
+	}
+	return n
+}
+
+// FilterAboveThreshold appends the indices and values of elements with
+// |x_i| >= eta to the provided slices (which may be nil) and returns them.
+// This is the compression operator C_eta of Section 2.3.
+func FilterAboveThreshold(x []float64, eta float64, idx []int32, vals []float64) ([]int32, []float64) {
+	for i, xi := range x {
+		if math.Abs(xi) >= eta {
+			idx = append(idx, int32(i))
+			vals = append(vals, xi)
+		}
+	}
+	return idx, vals
+}
+
+// ValuesAboveThreshold appends the |values| of elements with |x_i| > eta to
+// dst and returns it. The strict inequality matches the exceedance
+// definition of the multi-stage estimator (values equal to the previous
+// threshold have already been counted).
+func ValuesAboveThreshold(x []float64, eta float64, dst []float64) []float64 {
+	for _, xi := range x {
+		if a := math.Abs(xi); a > eta {
+			dst = append(dst, a)
+		}
+	}
+	return dst
+}
+
+// SparsificationError returns ||g - T_k(g)||_2 given the dense vector and
+// the set of kept indices — the sigma_k(g) of Definition 1, used to verify
+// gradient compressibility (Figure 7b).
+func SparsificationError(g []float64, kept []int32) float64 {
+	keptSet := make(map[int32]struct{}, len(kept))
+	for _, i := range kept {
+		keptSet[i] = struct{}{}
+	}
+	sum := 0.0
+	for i, gi := range g {
+		if _, ok := keptSet[int32(i)]; !ok {
+			sum += gi * gi
+		}
+	}
+	return math.Sqrt(sum)
+}

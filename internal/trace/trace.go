@@ -1,0 +1,63 @@
+// Package trace records gradient snapshots from live training so the
+// fitting and compressibility studies (Figures 2, 7, 8) can analyse the
+// same vectors the compressors saw. Snapshots are normalized by their l2
+// norm, matching the paper's preprocessing in Appendix B.2.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Recorder captures gradient snapshots at chosen iterations.
+type Recorder struct {
+	// Normalize divides each snapshot by its l2 norm before storage
+	// (paper's convention).
+	Normalize bool
+
+	want map[int]struct{}
+	snap map[int][]float64
+}
+
+// NewRecorder records the given iterations (0-based).
+func NewRecorder(normalize bool, iters ...int) *Recorder {
+	r := &Recorder{Normalize: normalize, want: map[int]struct{}{}, snap: map[int][]float64{}}
+	for _, i := range iters {
+		r.want[i] = struct{}{}
+	}
+	return r
+}
+
+// Observe is the dist.TrainerConfig.OnGradient callback.
+func (r *Recorder) Observe(iter int, flat []float64) {
+	if _, ok := r.want[iter]; !ok {
+		return
+	}
+	cp := tensor.Clone(flat)
+	if r.Normalize {
+		if n := tensor.Norm2(cp); n > 0 {
+			tensor.Scale(1/n, cp)
+		}
+	}
+	r.snap[iter] = cp
+}
+
+// Snapshot returns the recorded gradient for an iteration.
+func (r *Recorder) Snapshot(iter int) ([]float64, error) {
+	s, ok := r.snap[iter]
+	if !ok {
+		return nil, fmt.Errorf("trace: no snapshot for iteration %d", iter)
+	}
+	return s, nil
+}
+
+// Iterations returns the recorded iteration numbers in no particular
+// order.
+func (r *Recorder) Iterations() []int {
+	out := make([]int, 0, len(r.snap))
+	for i := range r.snap {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecorderCapturesRequestedIterations(t *testing.T) {
+	r := NewRecorder(false, 0, 5)
+	for i := 0; i < 10; i++ {
+		r.Observe(i, []float64{float64(i), 1})
+	}
+	got, err := r.Snapshot(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Errorf("snapshot content = %v", got)
+	}
+	if _, err := r.Snapshot(3); err == nil {
+		t.Error("unrequested iteration should error")
+	}
+	iters := r.Iterations()
+	if len(iters) != 2 {
+		t.Errorf("Iterations = %v", iters)
+	}
+}
+
+func TestRecorderCopiesTheSlice(t *testing.T) {
+	r := NewRecorder(false, 0)
+	buf := []float64{1, 2}
+	r.Observe(0, buf)
+	buf[0] = 99 // the trainer reuses its buffer
+	got, err := r.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("recorder must copy, not alias, the gradient")
+	}
+}
+
+func TestRecorderNormalizes(t *testing.T) {
+	r := NewRecorder(true, 0)
+	r.Observe(0, []float64{3, 4})
+	got, err := r.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := math.Hypot(got[0], got[1])
+	if math.Abs(norm-1) > 1e-12 {
+		t.Errorf("normalized snapshot has norm %v", norm)
+	}
+}
+
+func TestRecorderZeroGradient(t *testing.T) {
+	r := NewRecorder(true, 0)
+	r.Observe(0, []float64{0, 0})
+	got, err := r.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero norm must not produce NaNs.
+	if math.IsNaN(got[0]) {
+		t.Error("zero gradient normalized to NaN")
+	}
+}
