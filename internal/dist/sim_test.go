@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/netsim"
+)
+
+func topkFactory() compress.Compressor  { return compress.TopK{} }
+func sidcoFactory() compress.Compressor { return core.NewE() }
+
+func TestTable1Catalog(t *testing.T) {
+	wls := Table1()
+	if len(wls) != 6 {
+		t.Fatalf("Table 1 has %d workloads, want 6", len(wls))
+	}
+	seen := map[string]bool{}
+	for _, wl := range wls {
+		if wl.Dim <= 0 || wl.BatchSize <= 0 || wl.Epochs <= 0 {
+			t.Errorf("%s: degenerate dimensions %+v", wl.Name, wl)
+		}
+		if wl.CommOverhead <= 0 || wl.CommOverhead >= 1 {
+			t.Errorf("%s: comm overhead %v outside (0, 1)", wl.Name, wl.CommOverhead)
+		}
+		if seen[wl.Name] {
+			t.Errorf("duplicate workload %q", wl.Name)
+		}
+		seen[wl.Name] = true
+		got, err := WorkloadByName(wl.Name)
+		if err != nil {
+			t.Errorf("WorkloadByName(%q): %v", wl.Name, err)
+		}
+		if got.Dim != wl.Dim {
+			t.Errorf("WorkloadByName(%q) roundtrip mismatch", wl.Name)
+		}
+	}
+	if ptb, _ := WorkloadByName("lstm-ptb"); ptb.Dim != 66_034_000 || ptb.CommOverhead != 0.94 {
+		t.Errorf("lstm-ptb catalog entry drifted: %+v", ptb)
+	}
+	if _, err := WorkloadByName("bogus"); err == nil {
+		t.Error("unknown workload should error")
+	}
+	// Table1 returns a copy: mutating it must not corrupt the catalog.
+	wls[0].Dim = 1
+	if again := Table1(); again[0].Dim == 1 {
+		t.Error("Table1 exposed internal catalog storage")
+	}
+}
+
+// TestSimulatedSpeedupOnCommBoundWorkload checks the paper's core claim
+// end to end: on a communication-bound workload (LSTM-PTB spends 94% of
+// a dense iteration communicating), aggressive sparsification at delta =
+// 0.001 must beat the no-compression baseline.
+func TestSimulatedSpeedupOnCommBoundWorkload(t *testing.T) {
+	wl, err := WorkloadByName("lstm-ptb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SimConfig{
+		Workload: wl,
+		Net:      netsim.Cluster25GbE(8),
+		Dev:      device.GPU(),
+		Delta:    0.001,
+		Iters:    20,
+		SimScale: 1000,
+		Seed:     1,
+	}
+	none, err := SimulateWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, factory := range map[string]func() compress.Compressor{
+		"topk": topkFactory, "sidco-e": sidcoFactory,
+	} {
+		cfg := base
+		cfg.NewCompressor = factory
+		res, err := SimulateWorkload(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.CommTime >= none.CommTime {
+			t.Errorf("%s: sparse comm %v not cheaper than dense %v", name, res.CommTime, none.CommTime)
+		}
+		// Exact Top-k pays a full GPU sort at d = 66M, which can eat the
+		// communication win — the paper's motivating observation. The
+		// linear-time estimator must come out ahead overall.
+		if name == "sidco-e" {
+			if s := Speedup(res, none); s <= 1 {
+				t.Errorf("%s: speedup %v at delta=0.001 on comm-bound workload, want > 1", name, s)
+			}
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	wl, _ := WorkloadByName("resnet20-cifar10")
+	cfg := SimConfig{Workload: wl, NewCompressor: sidcoFactory, Delta: 0.01, Iters: 15, SimScale: 100, Seed: 7}
+	a, err := SimulateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRatio != b.MeanRatio || a.IterTime != b.IterTime {
+		t.Errorf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.RatioSeries {
+		if a.RatioSeries[i] != b.RatioSeries[i] {
+			t.Fatalf("ratio series diverges at %d", i)
+		}
+	}
+}
+
+func TestSimResultAccounting(t *testing.T) {
+	wl, _ := WorkloadByName("vgg16-cifar10")
+	res, err := SimulateWorkload(SimConfig{
+		Workload: wl, NewCompressor: topkFactory, Delta: 0.01, Iters: 12, SimScale: 1000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RatioSeries) != 12 {
+		t.Errorf("RatioSeries has %d entries, want 12", len(res.RatioSeries))
+	}
+	if sum := res.ComputeTime + res.CompressTime + res.CommTime; math.Abs(sum-res.IterTime)/res.IterTime > 1e-9 {
+		t.Errorf("IterTime %v != compute+compress+comm %v", res.IterTime, sum)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("Throughput = %v", res.Throughput)
+	}
+	if res.MeanRatio != 1 || res.GeoMeanRatio != 1 {
+		t.Errorf("exact Top-k ratios should be 1: mean %v geo %v", res.MeanRatio, res.GeoMeanRatio)
+	}
+	if res.Workload != "vgg16-cifar10" || res.Compressor != "topk" {
+		t.Errorf("run labels wrong: %+v", res)
+	}
+}
+
+func TestSimulateDefaultsAndErrors(t *testing.T) {
+	wl, _ := WorkloadByName("resnet20-cifar10")
+	// Zero Net/Dev/Iters/SimScale take documented defaults.
+	res, err := SimulateWorkload(SimConfig{Workload: wl, Delta: 0.01, Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterTime <= 0 || res.Compressor != "none" {
+		t.Errorf("defaulted run wrong: %+v", res)
+	}
+	if _, err := SimulateWorkload(SimConfig{Delta: 0.01}); err == nil {
+		t.Error("empty workload should error")
+	}
+	if _, err := SimulateWorkload(SimConfig{Workload: wl, NewCompressor: topkFactory, Delta: 0}); err == nil {
+		t.Error("bad delta with a compressor should error")
+	}
+	for _, net := range []netsim.Network{
+		{Workers: 8},         // bandwidth forgotten
+		{BandwidthBps: 10e9}, // workers forgotten
+		{Workers: -1, BandwidthBps: 10e9},
+		{Workers: 8, BandwidthBps: 25e9, LatencySec: -1e-3},
+	} {
+		if _, err := SimulateWorkload(SimConfig{Workload: wl, Net: net, Delta: 0.01}); err == nil {
+			t.Errorf("half-specified network %+v should error, not default or simulate free comms", net)
+		}
+	}
+	badDev := device.Profile{Name: "custom"} // rates forgotten
+	if _, err := SimulateWorkload(SimConfig{Workload: wl, Dev: badDev, Delta: 0.01}); err == nil {
+		t.Error("half-specified device profile should error, not produce Inf latencies")
+	}
+}
+
+// TestComputeTimeIsFabricInvariant pins compute to the reference
+// cluster's overhead calibration: swapping the fabric must change only
+// the communication stage, not the modelled forward+backward time.
+func TestComputeTimeIsFabricInvariant(t *testing.T) {
+	wl, _ := WorkloadByName("resnet50-imagenet")
+	run := func(net netsim.Network) *SimResult {
+		res, err := SimulateWorkload(SimConfig{
+			Workload: wl, Net: net, NewCompressor: topkFactory, Delta: 0.01, Iters: 5, SimScale: 1000, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	slow := run(netsim.Cluster25GbE(8))
+	fast := run(netsim.NVLinkNode(8))
+	if slow.ComputeTime != fast.ComputeTime {
+		t.Errorf("compute time moved with the fabric: %v vs %v", slow.ComputeTime, fast.ComputeTime)
+	}
+	if fast.CommTime >= slow.CommTime {
+		t.Errorf("NVLink comm %v not cheaper than 25GbE %v", fast.CommTime, slow.CommTime)
+	}
+}
+
+func TestSpeedupDegenerate(t *testing.T) {
+	a := &SimResult{IterTime: 1}
+	b := &SimResult{IterTime: 2}
+	if got := Speedup(a, b); got != 2 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if !math.IsNaN(Speedup(nil, b)) || !math.IsNaN(Speedup(&SimResult{}, b)) {
+		t.Error("degenerate speedups should be NaN")
+	}
+}

@@ -1,0 +1,277 @@
+// Package dist implements the distributed side of the reproduction: a
+// goroutine-per-worker synchronous data-parallel training engine with
+// pluggable gradient compression and per-worker error feedback, plus the
+// Table 1 workload catalog and the timeline simulator that prices one
+// training iteration (compute + compress + communicate) on a modelled
+// device and network.
+//
+// The Trainer runs real backpropagation through internal/nn; the
+// simulator drives internal/simgrad statistical gradients through the
+// same Compressor interface and converts achieved sparsity into
+// communication time via internal/netsim. Both are deterministic for a
+// fixed Seed, including with Workers > 1.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TrainerConfig assembles a synchronous data-parallel training run.
+type TrainerConfig struct {
+	// Workers is the number of data-parallel workers N (>= 1).
+	Workers int
+	// Model is the shared model replica. Weights are read by all workers
+	// during the gradient phase and updated once per step by Opt.
+	Model *nn.Sequential
+	// Loss scores model outputs against integer targets.
+	Loss nn.Loss
+	// Opt applies the aggregated gradient once per step.
+	Opt nn.Optimizer
+	// Batch draws one worker's batch. It is called concurrently for
+	// different workers and must only use the provided per-worker rng for
+	// randomness (shared dataset state must be read-only).
+	Batch func(worker int, rng *rand.Rand) (*nn.Tensor, []int)
+	// NewCompressor constructs one compressor per worker (stateful
+	// compressors keep per-worker state). Nil means dense (no
+	// compression) training.
+	NewCompressor func() compress.Compressor
+	// Delta is the target compression ratio k/d handed to the compressor.
+	Delta float64
+	// EC wraps each worker's compressor with error feedback: the
+	// sparsification residual is carried to the next iteration.
+	EC bool
+	// ClipNorm rescales each worker's local gradient to at most this L2
+	// norm before compression (0 disables clipping).
+	ClipNorm float64
+	// Seed fixes every random stream (batch draws and randomized
+	// compressors).
+	Seed int64
+	// OnGradient, if set, observes worker 0's gradient each iteration
+	// exactly as its compressor sees it: after clipping and, under EC,
+	// with the carried residual added (internal/trace.Recorder hooks in
+	// here so the fitting studies analyse the same vectors the
+	// compressors saw). The slice is reused between iterations;
+	// observers must copy.
+	OnGradient func(iter int, flat []float64)
+}
+
+// worker is the per-goroutine state of one data-parallel worker.
+type worker struct {
+	id     int
+	rng    *rand.Rand
+	comp   compress.Compressor // nil = dense path
+	flat   []float64           // local gradient buffer
+	sparse *tensor.Sparse
+	loss   float64
+	ratio  float64
+	err    error
+}
+
+// Trainer executes synchronous data-parallel steps: each worker draws a
+// batch, computes a local gradient, optionally compresses it, the sparse
+// contributions are aggregated, and a single optimizer step is applied.
+//
+// Workers run concurrently. The forward/backward pass itself is
+// serialized through a mutex because internal/nn layers cache one
+// in-flight batch, but each worker's gradient depends only on its own
+// batch and the step-start weights, so scheduling order cannot change
+// any result: batch draws use per-worker RNG streams, and losses and
+// gradients are reduced in worker-index order. Output is therefore
+// bit-identical across runs for a fixed Seed.
+type Trainer struct {
+	// LastRatio is the mean achieved k-hat/k across workers in the most
+	// recent Step (1 for dense training).
+	LastRatio float64
+
+	cfg     TrainerConfig
+	params  []*nn.Param
+	dim     int
+	k       int // target non-zeros per worker, 0 when dense
+	workers []*worker
+	modelMu sync.Mutex
+	agg     []float64
+	tapBuf  []float64
+	iter    int
+}
+
+// NewTrainer validates the configuration and allocates per-worker state.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("dist: Workers = %d, need >= 1", cfg.Workers)
+	}
+	if cfg.Model == nil || cfg.Loss == nil || cfg.Opt == nil || cfg.Batch == nil {
+		return nil, fmt.Errorf("dist: Model, Loss, Opt and Batch are all required")
+	}
+	params := cfg.Model.Params()
+	dim := nn.ParamCount(params)
+	if dim == 0 {
+		return nil, fmt.Errorf("dist: model has no trainable parameters")
+	}
+	compressed := cfg.NewCompressor != nil
+	if compressed && (cfg.Delta <= 0 || cfg.Delta > 1) {
+		return nil, fmt.Errorf("dist: Delta = %v outside (0, 1]", cfg.Delta)
+	}
+	t := &Trainer{
+		LastRatio: 1,
+		cfg:       cfg,
+		params:    params,
+		dim:       dim,
+		workers:   make([]*worker, cfg.Workers),
+		agg:       make([]float64, dim),
+	}
+	if compressed {
+		t.k = compress.TargetK(dim, cfg.Delta)
+	}
+	for w := range t.workers {
+		var comp compress.Compressor
+		if compressed {
+			comp = cfg.NewCompressor()
+			if comp != nil && cfg.EC {
+				comp = compress.NewErrorFeedback(comp)
+			}
+		}
+		t.workers[w] = &worker{
+			id:   w,
+			rng:  rand.New(rand.NewSource(workerSeed(cfg.Seed, w))),
+			comp: comp,
+			flat: make([]float64, dim),
+		}
+	}
+	return t, nil
+}
+
+// workerSeed derives an independent, deterministic seed per worker from
+// the trainer seed (splitmix64 finalizer: nearby base seeds still give
+// uncorrelated worker streams).
+func workerSeed(seed int64, w int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(w+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Dim returns the model parameter count d.
+func (t *Trainer) Dim() int { return t.dim }
+
+// localGradient runs one worker's half-step: batch draw, forward,
+// backward, clip, and compression. Only the model pass holds the mutex.
+func (t *Trainer) localGradient(w *worker) error {
+	x, targets := t.cfg.Batch(w.id, w.rng)
+
+	t.modelMu.Lock()
+	for _, p := range t.params {
+		p.ZeroGrad()
+	}
+	y := t.cfg.Model.Forward(x)
+	w.loss = t.cfg.Loss.Forward(y, targets)
+	t.cfg.Model.Backward(t.cfg.Loss.Backward())
+	nn.FlattenGrads(t.params, w.flat)
+	t.modelMu.Unlock()
+
+	if t.cfg.ClipNorm > 0 {
+		nn.ClipFlatNorm(w.flat, t.cfg.ClipNorm)
+	}
+	if w.id == 0 {
+		t.tapGradient(w)
+	}
+	if w.comp == nil {
+		w.sparse = nil
+		w.ratio = 1
+		return nil
+	}
+	s, err := w.comp.Compress(w.flat, t.cfg.Delta)
+	if err != nil {
+		return fmt.Errorf("dist: worker %d: %w", w.id, err)
+	}
+	w.sparse = s
+	w.ratio = float64(s.NNZ()) / float64(t.k)
+	return nil
+}
+
+// tapGradient feeds OnGradient the vector worker w's compressor is
+// about to see: the clipped local gradient, plus the error-feedback
+// residual when EC is carrying one. Only worker 0 taps, so observers
+// need not be concurrency-safe.
+func (t *Trainer) tapGradient(w *worker) {
+	if t.cfg.OnGradient == nil {
+		return
+	}
+	tap := w.flat
+	if ec, ok := w.comp.(*compress.ErrorFeedback); ok {
+		if res := ec.Residual(); res != nil {
+			if t.tapBuf == nil {
+				t.tapBuf = make([]float64, t.dim)
+			}
+			copy(t.tapBuf, w.flat)
+			tensor.Add(res, t.tapBuf)
+			tap = t.tapBuf
+		}
+	}
+	t.cfg.OnGradient(t.iter, tap)
+}
+
+// Step runs one synchronous iteration and returns the mean training loss
+// across workers.
+func (t *Trainer) Step() (float64, error) {
+	var wg sync.WaitGroup
+	for _, w := range t.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.err = t.localGradient(w)
+		}(w)
+	}
+	wg.Wait()
+
+	// All reductions below iterate workers in index order so the
+	// floating-point results are independent of goroutine scheduling.
+	for _, w := range t.workers {
+		if w.err != nil {
+			return 0, w.err
+		}
+	}
+	tensor.Zero(t.agg)
+	loss, ratio := 0.0, 0.0
+	for _, w := range t.workers {
+		if w.sparse != nil {
+			// Sparse aggregation: scatter-add the (index, value) pairs
+			// directly into the shared accumulator — O(sum of nnz), no
+			// per-worker densify.
+			w.sparse.AddTo(t.agg)
+		} else {
+			tensor.Add(w.flat, t.agg)
+		}
+		loss += w.loss
+		ratio += w.ratio
+	}
+	inv := 1 / float64(len(t.workers))
+	tensor.Scale(inv, t.agg)
+	loss *= inv
+	t.LastRatio = ratio * inv
+
+	t.cfg.Opt.StepFlat(t.params, t.agg)
+	t.iter++
+	return loss, nil
+}
+
+// Run executes iters steps and returns the per-iteration mean losses and
+// mean achieved compression ratios (k-hat/k; all ones for dense runs).
+func (t *Trainer) Run(iters int) ([]float64, []float64, error) {
+	losses := make([]float64, 0, iters)
+	ratios := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		loss, err := t.Step()
+		if err != nil {
+			return nil, nil, err
+		}
+		losses = append(losses, loss)
+		ratios = append(ratios, t.LastRatio)
+	}
+	return losses, ratios, nil
+}

@@ -74,13 +74,16 @@ func (n Network) AllGatherSparse(bytesPerWorker int) float64 {
 // ParameterServer returns the time for all workers to push their (sparse
 // or dense) gradient of pushBytes to a central server and pull back an
 // aggregate of pullBytes, assuming the server link is the bottleneck.
+// Every push and every pull is a separate message, so each of the 2N
+// transfers pays the per-message latency alpha.
 func (n Network) ParameterServer(pushBytes, pullBytes int) float64 {
 	if err := n.validate(); err != nil || n.Workers == 1 {
 		return 0
 	}
-	inbound := float64(n.Workers) * n.transfer(float64(pushBytes))
-	outbound := float64(n.Workers) * n.transfer(float64(pullBytes))
-	return inbound + outbound + 2*n.LatencySec
+	w := float64(n.Workers)
+	inbound := w * (n.transfer(float64(pushBytes)) + n.LatencySec)
+	outbound := w * (n.transfer(float64(pullBytes)) + n.LatencySec)
+	return inbound + outbound
 }
 
 // CommTime returns the gradient-exchange time for one iteration given the

@@ -74,6 +74,67 @@ func TestParameterServerModel(t *testing.T) {
 	}
 }
 
+func TestParameterServerAccounting(t *testing.T) {
+	cases := []struct {
+		name       string
+		net        Network
+		push, pull int
+		want       float64
+	}{
+		{
+			// N pushes + N pulls, each paying alpha: 2*4 messages.
+			name: "per-message latency",
+			net:  Network{Workers: 4, BandwidthBps: 1e15, LatencySec: 1e-3},
+			push: 1000, pull: 1000,
+			want: 8e-3 + 2*4*1000*8/1e15,
+		},
+		{
+			name: "asymmetric push and pull",
+			net:  Network{Workers: 2, BandwidthBps: 1e9, LatencySec: 1e-4},
+			push: 1000, pull: 4000,
+			want: 2*(1000*8/1e9+1e-4) + 2*(4000*8/1e9+1e-4),
+		},
+		{
+			name: "single worker is free",
+			net:  Network{Workers: 1, BandwidthBps: 1e9, LatencySec: 1e-3},
+			push: 1 << 20, pull: 1 << 20,
+			want: 0,
+		},
+		{
+			name: "zero workers degenerate",
+			net:  Network{Workers: 0, BandwidthBps: 1e9, LatencySec: 1e-3},
+			push: 100, pull: 100,
+			want: 0,
+		},
+		{
+			name: "zero bandwidth degenerate",
+			net:  Network{Workers: 4, BandwidthBps: 0, LatencySec: 1e-3},
+			push: 100, pull: 100,
+			want: 0,
+		},
+		{
+			name: "empty messages still pay latency",
+			net:  Network{Workers: 3, BandwidthBps: 1e9, LatencySec: 1e-3},
+			push: 0, pull: 0,
+			want: 6e-3,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.net.ParameterServer(c.push, c.pull)
+			if c.want == 0 {
+				if got != 0 {
+					t.Errorf("ParameterServer = %v, want 0", got)
+				}
+				return
+			}
+			if math.Abs(got-c.want)/c.want > 1e-9 {
+				t.Errorf("ParameterServer = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
 func TestPresetClusters(t *testing.T) {
 	if c := Cluster25GbE(8); c.Workers != 8 || c.BandwidthBps != 25e9 {
 		t.Error("25GbE preset wrong")
