@@ -40,6 +40,11 @@ func onceWriter(key string) io.Writer {
 
 func benchFigure(b *testing.B, key string, f func(w io.Writer) error) {
 	b.Helper()
+	if testing.Short() {
+		// Most figure regenerations take seconds per run; `go test -short
+		// -bench .` keeps only the raw compressor micro-benches.
+		b.Skipf("figure bench %s skipped in -short mode", key)
+	}
 	for i := 0; i < b.N; i++ {
 		if err := f(onceWriter(key)); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The three collectives below are written from one node's perspective:
+// every participating node calls the same function with its own id, and
+// the per-node message schedules interlock into the collective. All of
+// them preserve the package's traffic contract — ring all-reduce sends
+// 2(N-1) messages per node, all-gather N-1 per node, parameter server
+// 2N in total — matching internal/netsim's alpha-beta step formulas.
+
+// chunkBounds splits d elements into n near-equal chunks (the standard
+// balanced split: chunk c covers [c*d/n, (c+1)*d/n)).
+func chunkBounds(d, n, c int) (lo, hi int) {
+	return c * d / n, (c + 1) * d / n
+}
+
+// RingAllReduce runs the bandwidth-optimal ring all-reduce in place:
+// N-1 reduce-scatter steps followed by N-1 all-gather steps, each node
+// sending one ~d/N-element chunk to its ring successor. On return, data
+// holds the elementwise sum over all nodes' inputs.
+//
+// The reduction for chunk c accumulates contributions in ring order
+// starting at node c — a rotation of worker-index order — so results
+// equal the in-process reducer's only up to floating-point
+// reassociation. Training paths that need bit-identity use the
+// all-gather or parameter-server collectives instead.
+func RingAllReduce(tp Transport, node, n int, data []float64) error {
+	if err := checkNode(tp, node, n); err != nil {
+		return err
+	}
+	if n == 1 {
+		return nil
+	}
+	d := len(data)
+	next, prev := (node+1)%n, (node+n-1)%n
+	// Reduce-scatter: after step s, the chunk this node just received
+	// carries the partial sum of s+2 ring predecessors.
+	for s := 0; s < n-1; s++ {
+		sc := (node + n - s) % n
+		lo, hi := chunkBounds(d, n, sc)
+		if err := tp.Send(node, next, f64Bytes(data[lo:hi])); err != nil {
+			return err
+		}
+		rc := (node + n - s - 1) % n
+		lo, hi = chunkBounds(d, n, rc)
+		buf, err := tp.Recv(node, prev)
+		if err != nil {
+			return err
+		}
+		if err := f64Add(data[lo:hi], buf); err != nil {
+			return fmt.Errorf("cluster: ring reduce chunk %d: %w", rc, err)
+		}
+	}
+	// All-gather: circulate the fully reduced chunks.
+	for s := 0; s < n-1; s++ {
+		sc := (node + n + 1 - s) % n
+		lo, hi := chunkBounds(d, n, sc)
+		if err := tp.Send(node, next, f64Bytes(data[lo:hi])); err != nil {
+			return err
+		}
+		rc := (node + n - s) % n
+		lo, hi = chunkBounds(d, n, rc)
+		buf, err := tp.Recv(node, prev)
+		if err != nil {
+			return err
+		}
+		if err := f64Copy(data[lo:hi], buf); err != nil {
+			return fmt.Errorf("cluster: ring gather chunk %d: %w", rc, err)
+		}
+	}
+	return nil
+}
+
+// AllGather circulates each node's payload once around the ring in N-1
+// forwarding steps and returns all payloads indexed by origin node (the
+// caller's own payload is aliased at index node). This is the collective
+// for sparse gradients, whose irregular supports cannot be reduced
+// in-ring without densifying.
+func AllGather(tp Transport, node, n int, own []byte) ([][]byte, error) {
+	if err := checkNode(tp, node, n); err != nil {
+		return nil, err
+	}
+	bufs := make([][]byte, n)
+	bufs[node] = own
+	cur := own
+	next, prev := (node+1)%n, (node+n-1)%n
+	for s := 0; s < n-1; s++ {
+		if err := tp.Send(node, next, cur); err != nil {
+			return nil, err
+		}
+		var err error
+		cur, err = tp.Recv(node, prev)
+		if err != nil {
+			return nil, err
+		}
+		bufs[(node+n-1-s)%n] = cur
+	}
+	return bufs, nil
+}
+
+// PSPushPull is the worker half of the parameter-server exchange: push
+// the local payload to the server node, then block for the aggregated
+// reply.
+func PSPushPull(tp Transport, worker, server int, payload []byte) ([]byte, error) {
+	if err := tp.Send(worker, server, payload); err != nil {
+		return nil, err
+	}
+	return tp.Recv(worker, server)
+}
+
+// PSServe is the server half: receive one push from each of workers
+// 0..n-1 in worker-index order (the order that keeps aggregation
+// deterministic), hand each to combine, then broadcast reply's result to
+// every worker. Message total across both halves is 2N.
+func PSServe(tp Transport, server, n int, combine func(worker int, payload []byte) error, reply func() ([]byte, error)) error {
+	for w := 0; w < n; w++ {
+		payload, err := tp.Recv(server, w)
+		if err != nil {
+			return err
+		}
+		if err := combine(w, payload); err != nil {
+			return fmt.Errorf("cluster: ps combine worker %d: %w", w, err)
+		}
+	}
+	out, err := reply()
+	if err != nil {
+		return fmt.Errorf("cluster: ps reply: %w", err)
+	}
+	for w := 0; w < n; w++ {
+		if err := tp.Send(server, w, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkNode(tp Transport, node, n int) error {
+	if n < 1 || n > tp.Nodes() {
+		return fmt.Errorf("cluster: %d participants on a %d-node transport", n, tp.Nodes())
+	}
+	if node < 0 || node >= n {
+		return fmt.Errorf("cluster: node %d outside %d participants", node, n)
+	}
+	return nil
+}
+
+// f64Bytes serialises a float64 slice little-endian. Chunks are raw
+// (headerless): both ends of a ring step know the chunk geometry.
+func f64Bytes(xs []float64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+func f64Add(dst []float64, buf []byte) error {
+	if len(buf) != 8*len(dst) {
+		return fmt.Errorf("payload %d bytes, want %d", len(buf), 8*len(dst))
+	}
+	for i := range dst {
+		dst[i] += math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+func f64Copy(dst []float64, buf []byte) error {
+	if len(buf) != 8*len(dst) {
+		return fmt.Errorf("payload %d bytes, want %d", len(buf), 8*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}

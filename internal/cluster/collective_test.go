@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// runAll executes f concurrently for nodes 0..n-1 and returns the first
+// error in node order.
+func runAll(n int, f func(node int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestRingAllReduceSums(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for _, d := range []int{1, 5, 16, 33} {
+			tp, err := NewChanTransport(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Integer-valued data keeps float addition exact regardless of
+			// reduction order, so the sum check is bitwise.
+			data := make([][]float64, n)
+			want := make([]float64, d)
+			for i := range data {
+				data[i] = make([]float64, d)
+				for j := range data[i] {
+					data[i][j] = float64((i+1)*(j+3)%17 - 8)
+					want[j] += data[i][j]
+				}
+			}
+			if err := runAll(n, func(node int) error {
+				return RingAllReduce(tp, node, n, data[node])
+			}); err != nil {
+				t.Fatalf("n=%d d=%d: %v", n, d, err)
+			}
+			for i := range data {
+				for j := range want {
+					if data[i][j] != want[j] {
+						t.Fatalf("n=%d d=%d: node %d element %d = %v, want %v",
+							n, d, i, j, data[i][j], want[j])
+					}
+				}
+			}
+			tp.Close()
+		}
+	}
+}
+
+func TestAllGatherReturnsAllPayloadsByOrigin(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		tp, err := NewChanTransport(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([][][]byte, n)
+		if err := runAll(n, func(node int) error {
+			own := []byte(fmt.Sprintf("payload-from-%d", node))
+			bufs, err := AllGather(tp, node, n, own)
+			got[node] = bufs
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for node := 0; node < n; node++ {
+			for origin := 0; origin < n; origin++ {
+				want := fmt.Sprintf("payload-from-%d", origin)
+				if string(got[node][origin]) != want {
+					t.Fatalf("n=%d: node %d slot %d = %q, want %q",
+						n, node, origin, got[node][origin], want)
+				}
+			}
+		}
+		tp.Close()
+	}
+}
+
+func TestParameterServerExchange(t *testing.T) {
+	n := 4
+	tp, err := NewChanTransport(n + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := n
+	replies := make([][]byte, n)
+	var sum int
+	var order []int
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- PSServe(tp, server, n,
+			func(worker int, payload []byte) error {
+				order = append(order, worker)
+				sum += int(payload[0])
+				return nil
+			},
+			func() ([]byte, error) { return []byte{byte(sum)}, nil })
+	}()
+	if err := runAll(n, func(node int) error {
+		r, err := PSPushPull(tp, node, server, []byte{byte(10 * (node + 1))})
+		replies[node] = r
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	for w, r := range replies {
+		if len(r) != 1 || int(r[0]) != 100 {
+			t.Errorf("worker %d reply %v, want [100]", w, r)
+		}
+	}
+	for w, o := range order {
+		if o != w {
+			t.Fatalf("server combined in order %v, want worker-index order", order)
+		}
+	}
+	tp.Close()
+}
+
+func TestCollectiveMessageCountsMatchNetsimFormulas(t *testing.T) {
+	d := 64
+	for _, n := range []int{2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("ring-n%d", n), func(t *testing.T) {
+			inner, _ := NewChanTransport(n)
+			tp := NewInstrumented(inner, nil)
+			data := make([][]float64, n)
+			for i := range data {
+				data[i] = make([]float64, d)
+			}
+			if err := runAll(n, func(node int) error {
+				return RingAllReduce(tp, node, n, data[node])
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// Every ring link carries exactly the per-node step count.
+			for i := 0; i < n; i++ {
+				st := tp.LinkStats(i, (i+1)%n)
+				if st.Messages != netsim.RingMessages(n) {
+					t.Errorf("link %d->%d: %d messages, want %d", i, (i+1)%n, st.Messages, netsim.RingMessages(n))
+				}
+			}
+			msgs, bytes := tp.Totals()
+			if want := n * netsim.RingMessages(n); msgs != want {
+				t.Errorf("total messages %d, want %d", msgs, want)
+			}
+			// Each of the two phases moves every chunk n-1 times: 2(n-1)*8d.
+			if want := 2 * (n - 1) * 8 * d; bytes != want {
+				t.Errorf("total bytes %d, want %d", bytes, want)
+			}
+			inner.Close()
+		})
+		t.Run(fmt.Sprintf("allgather-n%d", n), func(t *testing.T) {
+			inner, _ := NewChanTransport(n)
+			tp := NewInstrumented(inner, nil)
+			payload := make([]byte, 100)
+			if err := runAll(n, func(node int) error {
+				_, err := AllGather(tp, node, n, payload)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				st := tp.LinkStats(i, (i+1)%n)
+				if st.Messages != netsim.AllGatherMessages(n) {
+					t.Errorf("link %d->%d: %d messages, want %d", i, (i+1)%n, st.Messages, netsim.AllGatherMessages(n))
+				}
+			}
+			msgs, bytes := tp.Totals()
+			if want := n * netsim.AllGatherMessages(n); msgs != want {
+				t.Errorf("total messages %d, want %d", msgs, want)
+			}
+			if want := n * (n - 1) * len(payload); bytes != want {
+				t.Errorf("total bytes %d, want %d", bytes, want)
+			}
+			inner.Close()
+		})
+		t.Run(fmt.Sprintf("ps-n%d", n), func(t *testing.T) {
+			inner, _ := NewChanTransport(n + 1)
+			tp := NewInstrumented(inner, nil)
+			serverErr := make(chan error, 1)
+			go func() {
+				serverErr <- PSServe(tp, n, n,
+					func(int, []byte) error { return nil },
+					func() ([]byte, error) { return make([]byte, 40), nil })
+			}()
+			if err := runAll(n, func(node int) error {
+				_, err := PSPushPull(tp, node, n, make([]byte, 25))
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-serverErr; err != nil {
+				t.Fatal(err)
+			}
+			msgs, bytes := tp.Totals()
+			if want := netsim.PSMessages(n); msgs != want {
+				t.Errorf("total messages %d, want %d", msgs, want)
+			}
+			if want := n*25 + n*40; bytes != want {
+				t.Errorf("total bytes %d, want %d", bytes, want)
+			}
+			inner.Close()
+		})
+	}
+}
+
+func TestVirtualTimeMatchesNetsimAlphaBeta(t *testing.T) {
+	// Uniform payloads on a homogeneous fabric: the instrumented
+	// transport's discrete-event clocks must land exactly on the
+	// alpha-beta closed forms.
+	net := netsim.Network{Workers: 4, BandwidthBps: 1e9, LatencySec: 1e-4}
+	n := net.Workers
+	const d = 4096 // divisible by n: equal ring chunks
+
+	t.Run("ring", func(t *testing.T) {
+		inner, _ := NewChanTransport(n)
+		tp := NewInstrumented(inner, ScenarioFromNetwork(net))
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = make([]float64, d)
+		}
+		if err := runAll(n, func(node int) error {
+			return RingAllReduce(tp, node, n, data[node])
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := net.AllReduceDense(8 * d)
+		if got := tp.Elapsed(); relErr(got, want) > 1e-9 {
+			t.Errorf("ring elapsed %v, netsim predicts %v", got, want)
+		}
+		inner.Close()
+	})
+	t.Run("allgather", func(t *testing.T) {
+		inner, _ := NewChanTransport(n)
+		tp := NewInstrumented(inner, ScenarioFromNetwork(net))
+		payload := make([]byte, 8*d/100)
+		if err := runAll(n, func(node int) error {
+			_, err := AllGather(tp, node, n, payload)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := net.AllGatherSparse(len(payload))
+		if got := tp.Elapsed(); relErr(got, want) > 1e-9 {
+			t.Errorf("allgather elapsed %v, netsim predicts %v", got, want)
+		}
+		inner.Close()
+	})
+	t.Run("ps", func(t *testing.T) {
+		inner, _ := NewChanTransport(n + 1)
+		tp := NewInstrumented(inner, ScenarioFromNetwork(net))
+		push, pull := 120, 4096
+		serverErr := make(chan error, 1)
+		go func() {
+			serverErr <- PSServe(tp, n, n,
+				func(int, []byte) error { return nil },
+				func() ([]byte, error) { return make([]byte, pull), nil })
+		}()
+		if err := runAll(n, func(node int) error {
+			_, err := PSPushPull(tp, node, n, make([]byte, push))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-serverErr; err != nil {
+			t.Fatal(err)
+		}
+		want := net.ParameterServer(push, pull)
+		if got := tp.Elapsed(); relErr(got, want) > 1e-9 {
+			t.Errorf("ps elapsed %v, netsim predicts %v", got, want)
+		}
+		inner.Close()
+	})
+}
+
+func TestScenarioKnobs(t *testing.T) {
+	net := netsim.Network{Workers: 4, BandwidthBps: 1e9, LatencySec: 1e-5}
+	n := net.Workers
+	base := func(scen *Scenario, compute map[int]float64) float64 {
+		inner, _ := NewChanTransport(n)
+		tp := NewInstrumented(inner, scen)
+		defer inner.Close()
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = make([]float64, 1024)
+		}
+		if err := runAll(n, func(node int) error {
+			tp.Compute(node, compute[node])
+			return RingAllReduce(tp, node, n, data[node])
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return tp.Elapsed()
+	}
+	work := map[int]float64{0: 1e-3, 1: 1e-3, 2: 1e-3, 3: 1e-3}
+
+	nominal := base(ScenarioFromNetwork(net), work)
+
+	// A 5x straggler on one node must slow the synchronous step by
+	// roughly the extra compute it burns.
+	slow := ScenarioFromNetwork(net)
+	slow.StragglerFactor = map[int]float64{2: 5}
+	straggled := base(slow, work)
+	if straggled <= nominal+3e-3 {
+		t.Errorf("straggler elapsed %v, nominal %v: expected ~4ms of drag", straggled, nominal)
+	}
+
+	// Degrading one ring link to a tenth of the bandwidth must slow the
+	// collective.
+	weak := ScenarioFromNetwork(net)
+	weak.LinkBandwidthBps = map[Link]float64{{From: 1, To: 2}: net.BandwidthBps / 10}
+	degraded := base(weak, work)
+	if degraded <= nominal {
+		t.Errorf("degraded-link elapsed %v not above nominal %v", degraded, nominal)
+	}
+}
+
+func TestTransportErrors(t *testing.T) {
+	tp, err := NewChanTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewChanTransport(0); err == nil {
+		t.Error("0 nodes should error")
+	}
+	if err := tp.Send(0, 5, nil); err == nil {
+		t.Error("out-of-range destination should error")
+	}
+	if err := tp.Send(1, 1, nil); err == nil {
+		t.Error("self-send should error")
+	}
+	if _, err := tp.Recv(2, 0); err == nil {
+		t.Error("out-of-range receiver should error")
+	}
+	// Messages delivered before Close still drain; then Recv errors.
+	if err := tp.Send(0, 1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	tp.Close()
+	if p, err := tp.Recv(1, 0); err != nil || len(p) != 1 {
+		t.Errorf("pre-close message should drain: %v %v", p, err)
+	}
+	if _, err := tp.Recv(1, 0); err == nil {
+		t.Error("recv on closed drained transport should error")
+	}
+	if err := tp.Send(0, 1, []byte{2}); err == nil {
+		// Buffered link could still accept; the contract only requires an
+		// eventual error, so a blocked send must fail once capacity is gone.
+		for i := 0; i < linkDepth+1; i++ {
+			if err := tp.Send(0, 1, []byte{2}); err != nil {
+				return
+			}
+		}
+		t.Error("send on closed transport never errored")
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/encoding"
+	"repro/internal/netsim"
+	"repro/internal/tensor"
+)
+
+// Config assembles a cluster Engine.
+type Config struct {
+	// Workers is the number of training nodes N (>= 1).
+	Workers int
+	// Collective selects the exchange schedule. CollectiveAuto mirrors
+	// netsim: all-gather when a contribution is sparse, ring all-reduce
+	// when dense.
+	Collective netsim.Collective
+	// Format is the wire format for encoded gradient payloads. The zero
+	// value WireLossless (encoding.FormatPairs64) makes all-gather and
+	// parameter-server exchanges reproduce the in-process reducer
+	// bit-for-bit; the float32 wires model what production fabrics
+	// actually ship.
+	Format Wire
+	// Transport overrides the default in-process channel transport. It
+	// must span NodeCount(Workers, Collective) nodes.
+	Transport Transport
+	// Scenario enables the virtual-time model on the instrumented
+	// transport (nil: traffic counting only).
+	Scenario *Scenario
+	// ComputeSec charges this much local work to every worker's clock at
+	// the start of each exchange (scaled per node by the scenario's
+	// straggler factors).
+	ComputeSec float64
+	// Verify makes every exchange cross-check that all nodes computed
+	// identical aggregates (a distributed-consistency assertion for
+	// tests; it costs O(N*d) comparisons per step).
+	Verify bool
+}
+
+// NodeCount returns the transport size a configuration needs: the
+// parameter-server collective adds one server node after the workers.
+func NodeCount(workers int, c netsim.Collective) int {
+	if c == netsim.CollectivePS {
+		return workers + 1
+	}
+	return workers
+}
+
+// Wire selects the payload wire format. Its zero value is the lossless
+// default, so Config{} trains bit-identically to the in-process path.
+type Wire int
+
+const (
+	// WireLossless ships encoding.FormatPairs64: 12 bytes per element,
+	// float64 values bit-for-bit.
+	WireLossless Wire = iota
+	// WirePairs ships encoding.FormatPairs: 8 bytes per element, float32.
+	WirePairs
+	// WireBitmap ships encoding.FormatBitmap.
+	WireBitmap
+	// WireDense ships encoding.FormatDense.
+	WireDense
+	// WireDeltaVarint ships encoding.FormatDeltaVarint.
+	WireDeltaVarint
+)
+
+// Format maps the wire selector onto its encoding format.
+func (w Wire) Format() (encoding.Format, error) {
+	switch w {
+	case WireLossless:
+		return encoding.FormatPairs64, nil
+	case WirePairs:
+		return encoding.FormatPairs, nil
+	case WireBitmap:
+		return encoding.FormatBitmap, nil
+	case WireDense:
+		return encoding.FormatDense, nil
+	case WireDeltaVarint:
+		return encoding.FormatDeltaVarint, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown wire format %d", int(w))
+	}
+}
+
+// job is one node's share of a gradient exchange.
+type job struct {
+	step   int
+	sparse *tensor.Sparse // nil on the dense path
+	dense  []float64
+	dim    int
+	coll   netsim.Collective // resolved collective, never Auto
+}
+
+// result is what a node reports back after running its schedule.
+type result struct {
+	node int
+	err  error
+}
+
+// Engine runs one goroutine per cluster node; each Exchange call hands
+// every node its worker's gradient, the nodes execute the configured
+// collective as real message passing, and the aggregated mean lands in
+// the caller's buffer. Engine satisfies dist.GradientExchange, so it
+// plugs directly into dist.TrainerConfig.Exchange.
+type Engine struct {
+	cfg     Config
+	format  encoding.Format // resolved from cfg.Format
+	tp      *Instrumented
+	server  int // server node id under PS, else -1
+	jobs    []chan job
+	results chan result
+	outs    [][]float64 // per-node aggregation buffers
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// New validates cfg, builds the transport and starts the node
+// goroutines. Callers must Close the engine to stop them.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("cluster: Workers = %d, need >= 1", cfg.Workers)
+	}
+	switch cfg.Collective {
+	case netsim.CollectiveAuto, netsim.CollectiveRing, netsim.CollectiveAllGather, netsim.CollectivePS:
+	default:
+		return nil, fmt.Errorf("cluster: unknown collective %v", cfg.Collective)
+	}
+	format, err := cfg.Format.Format()
+	if err != nil {
+		return nil, err
+	}
+	nodes := NodeCount(cfg.Workers, cfg.Collective)
+	inner := cfg.Transport
+	if inner == nil {
+		var err error
+		inner, err = NewChanTransport(nodes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if inner.Nodes() < nodes {
+		return nil, fmt.Errorf("cluster: transport has %d nodes, need %d", inner.Nodes(), nodes)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		format:  format,
+		tp:      NewInstrumented(inner, cfg.Scenario),
+		server:  -1,
+		jobs:    make([]chan job, cfg.Workers),
+		results: make(chan result, nodes),
+		outs:    make([][]float64, cfg.Workers),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.jobs[w] = make(chan job)
+		e.wg.Add(1)
+		go e.workerLoop(w)
+	}
+	if cfg.Collective == netsim.CollectivePS {
+		e.server = cfg.Workers
+		e.wg.Add(1)
+		go e.serverLoop()
+	}
+	return e, nil
+}
+
+// Transport exposes the instrumented transport for traffic and
+// virtual-time inspection.
+func (e *Engine) Transport() *Instrumented { return e.tp }
+
+// Close stops the node goroutines and closes the transport. The Engine
+// is not concurrency-safe: Exchange and Close must come from one
+// goroutine (the Trainer's step loop).
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	err := e.tp.Close()
+	for _, ch := range e.jobs {
+		close(ch)
+	}
+	e.wg.Wait()
+	return err
+}
+
+// Exchange implements dist.GradientExchange: it fans the workers'
+// contributions out to the node goroutines, runs the collective, and
+// copies the agreed mean into agg.
+func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) error {
+	if e.closed {
+		return fmt.Errorf("cluster: exchange on closed engine")
+	}
+	if len(ins) != e.cfg.Workers {
+		return fmt.Errorf("cluster: %d inputs for %d workers", len(ins), e.cfg.Workers)
+	}
+	// Resolve Auto once for the whole round — per-node resolution could
+	// diverge on a mixed dense/sparse input set and deadlock the
+	// schedule.
+	coll := e.cfg.Collective
+	if coll == netsim.CollectiveAuto {
+		if ins[0].Sparse != nil {
+			coll = netsim.CollectiveAllGather
+		} else {
+			coll = netsim.CollectiveRing
+		}
+	}
+	for w, in := range ins {
+		e.jobs[w] <- job{step: step, sparse: in.Sparse, dense: in.Dense, dim: len(agg), coll: coll}
+	}
+	want := e.cfg.Workers
+	if e.server >= 0 {
+		want++ // the server also reports
+	}
+	var firstErr error
+	for i := 0; i < want; i++ {
+		r := <-e.results
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: node %d: %w", r.node, r.err)
+			// Peers may be blocked mid-schedule waiting on the failed
+			// node; closing the transport unblocks them so the round
+			// drains instead of deadlocking.
+			e.tp.Close()
+		}
+	}
+	if firstErr == nil && e.cfg.Verify {
+		for w := 1; w < e.cfg.Workers; w++ {
+			for i := range e.outs[0] {
+				if e.outs[w][i] != e.outs[0][i] {
+					firstErr = fmt.Errorf("cluster: node %d disagrees with node 0 at element %d: %v vs %v",
+						w, i, e.outs[w][i], e.outs[0][i])
+					break
+				}
+			}
+		}
+	}
+	if firstErr != nil {
+		// Fail-stop: a broken round leaves stray messages in the
+		// transport, so the engine cannot safely run another schedule.
+		e.Close()
+		return firstErr
+	}
+	copy(agg, e.outs[0])
+	return nil
+}
+
+// workerLoop is the goroutine body of worker node w.
+func (e *Engine) workerLoop(w int) {
+	defer e.wg.Done()
+	for jb := range e.jobs[w] {
+		e.results <- result{node: w, err: e.runWorker(w, jb)}
+	}
+}
+
+func (e *Engine) runWorker(w int, jb job) error {
+	if len(e.outs[w]) != jb.dim {
+		e.outs[w] = make([]float64, jb.dim)
+	}
+	out := e.outs[w]
+	if e.cfg.ComputeSec > 0 {
+		e.tp.Compute(w, e.cfg.ComputeSec)
+	}
+	n := e.cfg.Workers
+	switch jb.coll {
+	case netsim.CollectiveRing:
+		// Dense in-ring reduction: start from the local dense gradient
+		// (densifying the sparse selection if the caller forced ring).
+		if jb.sparse != nil {
+			tensor.Zero(out)
+			jb.sparse.AddTo(out)
+		} else {
+			if len(jb.dense) != jb.dim {
+				return fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
+			}
+			copy(out, jb.dense)
+		}
+		if err := RingAllReduce(e.tp, w, n, out); err != nil {
+			return err
+		}
+		tensor.Scale(1/float64(n), out)
+		return nil
+
+	case netsim.CollectiveAllGather:
+		enc, err := e.encodeLocal(jb)
+		if err != nil {
+			return err
+		}
+		bufs, err := AllGather(e.tp, w, n, enc)
+		if err != nil {
+			return err
+		}
+		// Decode and reduce in worker-index order: with a lossless format
+		// this is the exact operation sequence of dist.InProcess.
+		tensor.Zero(out)
+		for origin := 0; origin < n; origin++ {
+			s, err := encoding.Decode(bufs[origin])
+			if err != nil {
+				return fmt.Errorf("decoding origin %d: %w", origin, err)
+			}
+			if s.Dim != jb.dim {
+				return fmt.Errorf("origin %d has dim %d, want %d", origin, s.Dim, jb.dim)
+			}
+			s.AddTo(out)
+		}
+		tensor.Scale(1/float64(n), out)
+		return nil
+
+	case netsim.CollectivePS:
+		enc, err := e.encodeLocal(jb)
+		if err != nil {
+			return err
+		}
+		reply, err := PSPushPull(e.tp, w, e.server, enc)
+		if err != nil {
+			return err
+		}
+		s, err := encoding.Decode(reply)
+		if err != nil {
+			return fmt.Errorf("decoding server reply: %w", err)
+		}
+		if s.Dim != jb.dim {
+			return fmt.Errorf("server reply has dim %d, want %d", s.Dim, jb.dim)
+		}
+		tensor.Zero(out)
+		s.AddTo(out)
+		return nil
+	}
+	return fmt.Errorf("unreachable collective")
+}
+
+// encodeLocal serialises a worker's contribution in the configured wire
+// format; dense gradients ship as a full-support sparse vector so even
+// the no-compression baseline moves real encoded bytes.
+func (e *Engine) encodeLocal(jb job) ([]byte, error) {
+	s := jb.sparse
+	if s == nil {
+		if len(jb.dense) != jb.dim {
+			return nil, fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
+		}
+		idx := make([]int32, jb.dim)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		var err error
+		s, err = tensor.NewSparse(jb.dim, idx, jb.dense)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return encoding.Encode(s, e.format)
+}
+
+// serverLoop is the goroutine body of the parameter-server node: one
+// PSServe round per exchange. The server learns each round's start from
+// the first arriving push, so it needs no job channel.
+func (e *Engine) serverLoop() {
+	defer e.wg.Done()
+	n := e.cfg.Workers
+	var acc []float64
+	var dim int
+	for {
+		combine := func(worker int, payload []byte) error {
+			s, err := encoding.Decode(payload)
+			if err != nil {
+				return err
+			}
+			if worker == 0 {
+				dim = s.Dim
+				if len(acc) != dim {
+					acc = make([]float64, dim)
+				}
+				tensor.Zero(acc)
+			} else if s.Dim != dim {
+				return fmt.Errorf("worker %d pushed dim %d, want %d", worker, s.Dim, dim)
+			}
+			// Worker-index arrival order (PSServe receives 0..n-1) keeps
+			// the sum bit-identical to the in-process reducer.
+			s.AddTo(acc)
+			return nil
+		}
+		reply := func() ([]byte, error) {
+			tensor.Scale(1/float64(n), acc)
+			sp, err := sparsify(dim, acc)
+			if err != nil {
+				return nil, err
+			}
+			return encoding.Encode(sp, e.format)
+		}
+		if err := PSServe(e.tp, e.server, n, combine, reply); err != nil {
+			// A server failure is fatal to the cluster: close the
+			// transport so workers blocked on their pull unblock with an
+			// error instead of hanging, then report and exit. (On a
+			// normal engine Close the transport is already closed and
+			// this is a no-op.)
+			e.tp.Close()
+			e.results <- result{node: e.server, err: err}
+			return
+		}
+		e.results <- result{node: e.server}
+	}
+}
+
+// sparsify extracts the non-zero support of a dense vector. Exact zeros
+// drop out of the encoding; decoding restores them as zeros, so the
+// round-trip is value-preserving.
+func sparsify(dim int, dense []float64) (*tensor.Sparse, error) {
+	idx := make([]int32, 0, len(dense))
+	vals := make([]float64, 0, len(dense))
+	for i, v := range dense {
+		if v != 0 {
+			idx = append(idx, int32(i))
+			vals = append(vals, v)
+		}
+	}
+	return tensor.NewSparse(dim, idx, vals)
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/dist"
+	"repro/internal/encoding"
+	"repro/internal/harness"
+	"repro/internal/netsim"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// randomInputs builds per-worker dense gradients plus top-k selections.
+func randomInputs(t *testing.T, workers, dim int, delta float64, seed int64) []dist.ExchangeInput {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]dist.ExchangeInput, workers)
+	for w := range ins {
+		dense := make([]float64, dim)
+		for i := range dense {
+			dense[i] = rng.NormFloat64()
+		}
+		ins[w] = dist.ExchangeInput{Worker: w, Dense: dense}
+		if delta > 0 {
+			s, err := compress.TopK{}.Compress(dense, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ins[w].Sparse = s
+		}
+	}
+	return ins
+}
+
+func engineExchange(t *testing.T, cfg Config, ins []dist.ExchangeInput, dim int) ([]float64, *Engine) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := make([]float64, dim)
+	if err := e.Exchange(0, ins, agg); err != nil {
+		e.Close()
+		t.Fatal(err)
+	}
+	return agg, e
+}
+
+func TestEngineMatchesInProcessBitwise(t *testing.T) {
+	const dim = 513 // odd: uneven ring chunks
+	for _, workers := range []int{1, 2, 4, 7} {
+		ins := randomInputs(t, workers, dim, 0.05, int64(workers))
+		want := make([]float64, dim)
+		if err := (dist.InProcess{}).Exchange(0, ins, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, coll := range []netsim.Collective{netsim.CollectiveAllGather, netsim.CollectivePS} {
+			got, e := engineExchange(t, Config{Workers: workers, Collective: coll, Verify: true}, ins, dim)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d %v: element %d = %v, want %v (must be bit-identical)",
+						workers, coll, i, got[i], want[i])
+				}
+			}
+			e.Close()
+		}
+	}
+}
+
+func TestEngineRingDenseMatchesWithinReassociation(t *testing.T) {
+	const dim = 257
+	workers := 4
+	ins := randomInputs(t, workers, dim, 0, 9)
+	want := make([]float64, dim)
+	if err := (dist.InProcess{}).Exchange(0, ins, want); err != nil {
+		t.Fatal(err)
+	}
+	got, e := engineExchange(t, Config{Workers: workers, Collective: netsim.CollectiveRing, Verify: true}, ins, dim)
+	defer e.Close()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("element %d = %v, want %v within reassociation tolerance", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineAutoMirrorsNetsim(t *testing.T) {
+	const dim = 128
+	workers := 3
+	// Sparse inputs under Auto take the all-gather schedule: N-1 messages
+	// per node and no server.
+	ins := randomInputs(t, workers, dim, 0.1, 3)
+	_, e := engineExchange(t, Config{Workers: workers, Collective: netsim.CollectiveAuto}, ins, dim)
+	msgs, _ := e.Transport().Totals()
+	if want := workers * netsim.AllGatherMessages(workers); msgs != want {
+		t.Errorf("auto sparse: %d messages, want %d", msgs, want)
+	}
+	e.Close()
+	// Dense inputs take the ring schedule.
+	for i := range ins {
+		ins[i].Sparse = nil
+	}
+	_, e = engineExchange(t, Config{Workers: workers, Collective: netsim.CollectiveAuto}, ins, dim)
+	msgs, _ = e.Transport().Totals()
+	if want := workers * netsim.RingMessages(workers); msgs != want {
+		t.Errorf("auto dense: %d messages, want %d", msgs, want)
+	}
+	e.Close()
+}
+
+func TestEngineBytesPerStepMatchEncodingAccounting(t *testing.T) {
+	const dim = 400
+	workers := 4
+	ins := randomInputs(t, workers, dim, 0.05, 11)
+	nnz := ins[0].Sparse.NNZ()
+	for _, in := range ins {
+		if in.Sparse.NNZ() != nnz {
+			t.Fatalf("top-k nnz not uniform: %d vs %d", in.Sparse.NNZ(), nnz)
+		}
+	}
+
+	t.Run("allgather-pairs64", func(t *testing.T) {
+		_, e := engineExchange(t, Config{Workers: workers, Collective: netsim.CollectiveAllGather}, ins, dim)
+		defer e.Close()
+		_, bytes := e.Transport().Totals()
+		// Each worker's encoded buffer traverses N-1 links.
+		if want := (workers - 1) * workers * encoding.Pairs64Size(dim, nnz); bytes != want {
+			t.Errorf("measured %d bytes, encoding accounting says %d", bytes, want)
+		}
+	})
+	t.Run("allgather-pairs32", func(t *testing.T) {
+		_, e := engineExchange(t, Config{
+			Workers: workers, Collective: netsim.CollectiveAllGather, Format: WirePairs,
+		}, ins, dim)
+		defer e.Close()
+		_, bytes := e.Transport().Totals()
+		if want := (workers - 1) * workers * encoding.PairsSize(dim, nnz); bytes != want {
+			t.Errorf("measured %d bytes, encoding accounting says %d", bytes, want)
+		}
+	})
+	t.Run("ps-pairs64", func(t *testing.T) {
+		e, err := New(Config{Workers: workers, Collective: netsim.CollectivePS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		agg := make([]float64, dim)
+		if err := e.Exchange(0, ins, agg); err != nil {
+			t.Fatal(err)
+		}
+		aggNNZ := 0
+		for _, v := range agg {
+			if v != 0 {
+				aggNNZ++
+			}
+		}
+		_, bytes := e.Transport().Totals()
+		want := workers*encoding.Pairs64Size(dim, nnz) + workers*encoding.Pairs64Size(dim, aggNNZ)
+		if bytes != want {
+			t.Errorf("measured %d bytes, encoding accounting says %d", bytes, want)
+		}
+		msgs, _ := e.Transport().Totals()
+		if msgs != netsim.PSMessages(workers) {
+			t.Errorf("%d messages, want %d", msgs, netsim.PSMessages(workers))
+		}
+	})
+	t.Run("reset-isolates-steps", func(t *testing.T) {
+		e, err := New(Config{Workers: workers, Collective: netsim.CollectiveAllGather})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		agg := make([]float64, dim)
+		perStep := (workers - 1) * workers * encoding.Pairs64Size(dim, nnz)
+		for step := 0; step < 3; step++ {
+			e.Transport().Reset()
+			if err := e.Exchange(step, ins, agg); err != nil {
+				t.Fatal(err)
+			}
+			if _, bytes := e.Transport().Totals(); bytes != perStep {
+				t.Fatalf("step %d: %d bytes, want %d", step, bytes, perStep)
+			}
+		}
+	})
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 0}); err == nil {
+		t.Error("0 workers should error")
+	}
+	if _, err := New(Config{Workers: 2, Collective: netsim.Collective(99)}); err == nil {
+		t.Error("unknown collective should error")
+	}
+	small, _ := NewChanTransport(2)
+	if _, err := New(Config{Workers: 2, Collective: netsim.CollectivePS, Transport: small}); err == nil {
+		t.Error("PS needs workers+1 transport nodes")
+	}
+	e, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exchange(0, make([]dist.ExchangeInput, 3), make([]float64, 4)); err == nil {
+		t.Error("wrong input count should error")
+	}
+	e.Close()
+	if err := e.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	ins := randomInputs(t, 2, 4, 0, 1)
+	if err := e.Exchange(0, ins, make([]float64, 4)); err == nil {
+		t.Error("exchange on closed engine should error")
+	}
+}
+
+func TestEngineFailStopOnBadInput(t *testing.T) {
+	// A worker whose dense gradient disagrees with the aggregation
+	// dimension must fail the round and leave the engine closed, not
+	// deadlocked.
+	e, err := New(Config{Workers: 3, Collective: netsim.CollectiveRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := randomInputs(t, 3, 64, 0, 5)
+	ins[1].Dense = ins[1].Dense[:10]
+	if err := e.Exchange(0, ins, make([]float64, 64)); err == nil {
+		t.Fatal("mismatched gradient accepted")
+	}
+	if err := e.Exchange(1, randomInputs(t, 3, 64, 0, 6), make([]float64, 64)); err == nil {
+		t.Error("engine should be fail-stopped after a broken round")
+	}
+}
+
+// tinyTrainer builds a small dense-net trainer so the bit-identity sweep
+// over every registry compressor stays fast.
+func tinyTrainer(t *testing.T, workers int, comp string, delta float64, seed int64, ex dist.GradientExchange) *dist.Trainer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model := nn.NewSequential(
+		nn.NewDense("d1", 12, 10, rng),
+		&nn.ReLU{},
+		nn.NewDense("d2", 10, 4, rng),
+	)
+	var factory func() compress.Compressor
+	if comp != "" {
+		factory = harness.Factory(comp, seed)
+	}
+	tr, err := dist.NewTrainer(dist.TrainerConfig{
+		Workers: workers,
+		Model:   model,
+		Loss:    &nn.SoftmaxCrossEntropy{},
+		Opt:     &nn.SGD{LR: 0.05},
+		Batch: func(worker int, rng *rand.Rand) (*nn.Tensor, []int) {
+			x := nn.NewTensor(8, 12)
+			targets := make([]int, 8)
+			for i := range targets {
+				targets[i] = rng.Intn(4)
+				for j := 0; j < 12; j++ {
+					x.Data[i*12+j] = rng.NormFloat64() + float64(targets[i])
+				}
+			}
+			return x, targets
+		},
+		NewCompressor: factory,
+		Delta:         delta,
+		EC:            comp != "",
+		Seed:          seed,
+		Exchange:      ex,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestTrainerOverChannelTransportBitIdentical is the tentpole acceptance
+// check: training over the channel transport must yield bit-identical
+// per-iteration losses (and final weights) to the in-process Trainer for
+// a fixed seed, across every compressor in the registry, on both the
+// all-gather and parameter-server collectives.
+func TestTrainerOverChannelTransportBitIdentical(t *testing.T) {
+	const workers, iters = 4, 5
+	run := func(comp string, ex dist.GradientExchange) ([]float64, []float64) {
+		tr := tinyTrainer(t, workers, comp, 0.1, 42, ex)
+		losses, _, err := tr.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses, nn.FlattenWeights(tr.Params(), nil)
+	}
+	for _, comp := range harness.CompressorNames {
+		for _, coll := range []netsim.Collective{netsim.CollectiveAllGather, netsim.CollectivePS} {
+			t.Run(fmt.Sprintf("%s-%v", comp, coll), func(t *testing.T) {
+				e, err := New(Config{Workers: workers, Collective: coll, Verify: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer e.Close()
+				wantLoss, wantW := run(comp, nil)
+				gotLoss, gotW := run(comp, e)
+				for i := range wantLoss {
+					if gotLoss[i] != wantLoss[i] {
+						t.Fatalf("loss[%d] = %v, want %v (bit-identical)", i, gotLoss[i], wantLoss[i])
+					}
+				}
+				for i := range wantW {
+					if gotW[i] != wantW[i] {
+						t.Fatalf("weight[%d] = %v, want %v (bit-identical)", i, gotW[i], wantW[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTrainerDenseRingConverges covers the dense cluster path: ring
+// all-reduce reassociates float addition, so losses track the in-process
+// run closely but not bitwise.
+func TestTrainerDenseRingConverges(t *testing.T) {
+	const workers, iters = 4, 8
+	e, err := New(Config{Workers: workers, Collective: netsim.CollectiveRing, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ref := tinyTrainer(t, workers, "", 0, 7, nil)
+	wantLoss, _, err := ref.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tinyTrainer(t, workers, "", 0, 7, e)
+	gotLoss, _, err := tr.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantLoss {
+		if math.Abs(gotLoss[i]-wantLoss[i]) > 1e-9 {
+			t.Fatalf("loss[%d] = %v, want %v within ring tolerance", i, gotLoss[i], wantLoss[i])
+		}
+	}
+}
+
+func TestSparsifyKeepsExactSupport(t *testing.T) {
+	dense := []float64{0, 1.5, 0, -2, 0, 1e-300}
+	s, err := sparsify(len(dense), dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", s.NNZ())
+	}
+	back := make([]float64, len(dense))
+	s.AddTo(back)
+	for i := range dense {
+		if back[i] != dense[i] {
+			t.Errorf("element %d = %v, want %v", i, back[i], dense[i])
+		}
+	}
+	if _, err := tensor.NewSparse(3, []int32{0, 1, 2}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Link names a directed transport link.
+type Link struct{ From, To int }
+
+// LinkStats is the measured traffic of one directed link.
+type LinkStats struct {
+	Messages int
+	Bytes    int
+}
+
+// Scenario parameterises the virtual-time model of an Instrumented
+// transport: alpha-beta link costs plus the workload-shaping knobs —
+// per-link bandwidth overrides for heterogeneous fabrics and per-node
+// straggler factors for slow machines. A nil Scenario disables time
+// modelling (traffic is still counted).
+type Scenario struct {
+	// LatencySec is the per-message latency alpha.
+	LatencySec float64
+	// BandwidthBps is the default per-link bandwidth in bits/second.
+	BandwidthBps float64
+	// LinkBandwidthBps overrides the bandwidth of individual links,
+	// modelling oversubscribed or degraded paths.
+	LinkBandwidthBps map[Link]float64
+	// StragglerFactor multiplies node compute time (Compute calls);
+	// missing or zero entries mean the nominal factor 1.
+	StragglerFactor map[int]float64
+}
+
+// ScenarioFromNetwork lifts a netsim fabric into a homogeneous Scenario,
+// so measured virtual time can be compared against the analytic model
+// it mirrors.
+func ScenarioFromNetwork(net netsim.Network) *Scenario {
+	return &Scenario{LatencySec: net.LatencySec, BandwidthBps: net.BandwidthBps}
+}
+
+func (s *Scenario) bandwidth(from, to int) float64 {
+	if bw, ok := s.LinkBandwidthBps[Link{from, to}]; ok && bw > 0 {
+		return bw
+	}
+	return s.BandwidthBps
+}
+
+func (s *Scenario) transfer(from, to, bytes int) float64 {
+	bw := s.bandwidth(from, to)
+	if bw <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / bw
+}
+
+// Instrumented wraps any Transport with per-link traffic accounting and
+// an optional discrete-event alpha-beta clock model. Counting is exact:
+// total bytes equal the sum of payload lengths handed to Send, which for
+// encoded gradients equals internal/encoding's size accounting.
+//
+// The clock model charges each message alpha + bytes/bandwidth on both
+// the sender's and the receiver's NIC: per-node NICs serialise their own
+// transfers (so a parameter server's fan-in and fan-out serialise, as in
+// netsim.ParameterServer) while distinct links run in parallel (so ring
+// steps overlap, as in netsim.AllReduceDense). Stamps ride a per-link
+// FIFO alongside the wrapped transport's own per-link FIFO; the schedules
+// in this package have one sender and one receiver per link, which keeps
+// the two queues aligned.
+type Instrumented struct {
+	inner Transport
+	scen  *Scenario
+
+	mu         sync.Mutex
+	stats      map[Link]*LinkStats
+	totalMsgs  int
+	totalBytes int
+	clock      []float64 // per-node logical progress time
+	txBusy     []float64 // per-node send-NIC busy-until
+	rxBusy     []float64 // per-node receive-NIC busy-until
+	stamps     map[Link][]float64
+}
+
+// NewInstrumented wraps inner. scen may be nil to count traffic without
+// modelling time.
+func NewInstrumented(inner Transport, scen *Scenario) *Instrumented {
+	n := inner.Nodes()
+	return &Instrumented{
+		inner:  inner,
+		scen:   scen,
+		stats:  make(map[Link]*LinkStats),
+		clock:  make([]float64, n),
+		txBusy: make([]float64, n),
+		rxBusy: make([]float64, n),
+		stamps: make(map[Link][]float64),
+	}
+}
+
+// Nodes implements Transport.
+func (t *Instrumented) Nodes() int { return t.inner.Nodes() }
+
+// Send implements Transport, recording the message before delivery.
+func (t *Instrumented) Send(from, to int, payload []byte) error {
+	t.mu.Lock()
+	l := Link{from, to}
+	st := t.stats[l]
+	if st == nil {
+		st = &LinkStats{}
+		t.stats[l] = st
+	}
+	st.Messages++
+	st.Bytes += len(payload)
+	t.totalMsgs++
+	t.totalBytes += len(payload)
+	if t.scen != nil && from >= 0 && from < len(t.clock) {
+		start := t.txBusy[from]
+		if t.clock[from] > start {
+			start = t.clock[from]
+		}
+		t.txBusy[from] = start + t.scen.LatencySec + t.scen.transfer(from, to, len(payload))
+		t.stamps[l] = append(t.stamps[l], start)
+	}
+	t.mu.Unlock()
+	return t.inner.Send(from, to, payload)
+}
+
+// Recv implements Transport, advancing the receiver's clock once the
+// payload arrives.
+func (t *Instrumented) Recv(to, from int) ([]byte, error) {
+	payload, err := t.inner.Recv(to, from)
+	if err != nil {
+		return nil, err
+	}
+	if t.scen != nil {
+		t.mu.Lock()
+		l := Link{from, to}
+		if q := t.stamps[l]; len(q) > 0 && to >= 0 && to < len(t.clock) {
+			start := q[0]
+			t.stamps[l] = q[1:]
+			if t.rxBusy[to] > start {
+				start = t.rxBusy[to]
+			}
+			t.rxBusy[to] = start + t.scen.LatencySec + t.scen.transfer(from, to, len(payload))
+			if t.rxBusy[to] > t.clock[to] {
+				t.clock[to] = t.rxBusy[to]
+			}
+		}
+		t.mu.Unlock()
+	}
+	return payload, nil
+}
+
+// Close implements Transport.
+func (t *Instrumented) Close() error { return t.inner.Close() }
+
+// Compute charges seconds of local work to a node's clock, scaled by the
+// scenario's straggler factor — the knob that makes one slow machine
+// drag a synchronous step.
+func (t *Instrumented) Compute(node int, seconds float64) {
+	if t.scen == nil || node < 0 || node >= len(t.clock) {
+		return
+	}
+	factor := 1.0
+	if f, ok := t.scen.StragglerFactor[node]; ok && f > 0 {
+		factor = f
+	}
+	t.mu.Lock()
+	t.clock[node] += seconds * factor
+	t.mu.Unlock()
+}
+
+// LinkStats returns the traffic of one directed link.
+func (t *Instrumented) LinkStats(from, to int) LinkStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st := t.stats[Link{from, to}]; st != nil {
+		return *st
+	}
+	return LinkStats{}
+}
+
+// Totals returns the message and byte counts summed over all links.
+func (t *Instrumented) Totals() (messages, bytes int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totalMsgs, t.totalBytes
+}
+
+// Elapsed returns the virtual time of the slowest node — the synchronous
+// step's critical path. Zero without a Scenario.
+func (t *Instrumented) Elapsed() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var max float64
+	for _, c := range t.clock {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// NodeTime returns one node's virtual clock.
+func (t *Instrumented) NodeTime(node int) (float64, error) {
+	if node < 0 || node >= len(t.clock) {
+		return 0, fmt.Errorf("cluster: node %d outside %d", node, len(t.clock))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clock[node], nil
+}
+
+// Reset clears traffic counters and virtual clocks, typically between
+// steps so per-step measurements stay independent.
+func (t *Instrumented) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = make(map[Link]*LinkStats)
+	t.totalMsgs, t.totalBytes = 0, 0
+	for i := range t.clock {
+		t.clock[i], t.txBusy[i], t.rxBusy[i] = 0, 0, 0
+	}
+	t.stamps = make(map[Link][]float64)
+}

@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+func TestInProcessExchangeMeansContributions(t *testing.T) {
+	dense := [][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+	}
+	ins := make([]ExchangeInput, len(dense))
+	for w, g := range dense {
+		ins[w] = ExchangeInput{Worker: w, Dense: g}
+	}
+	agg := []float64{99, 99, 99, 99} // must be zeroed by the exchanger
+	if err := (InProcess{}).Exchange(0, ins, agg); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 6, 7, 8}
+	for i := range want {
+		if agg[i] != want[i] {
+			t.Errorf("agg[%d] = %v, want %v", i, agg[i], want[i])
+		}
+	}
+}
+
+func TestInProcessExchangeSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const dim, workers = 200, 3
+	ins := make([]ExchangeInput, workers)
+	want := make([]float64, dim)
+	for w := 0; w < workers; w++ {
+		g := make([]float64, dim)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		s, err := compress.TopK{}.Compress(g, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins[w] = ExchangeInput{Worker: w, Dense: g, Sparse: s}
+		s.AddTo(want)
+	}
+	tensor.Scale(1.0/workers, want)
+	agg := make([]float64, dim)
+	if err := (InProcess{}).Exchange(0, ins, agg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if agg[i] != want[i] {
+			t.Fatalf("agg[%d] = %v, want %v", i, agg[i], want[i])
+		}
+	}
+}
+
+func TestInProcessExchangeRejectsEmpty(t *testing.T) {
+	if err := (InProcess{}).Exchange(0, nil, []float64{0}); err == nil {
+		t.Error("empty input set should error")
+	}
+}
+
+// exchangeRecorder wraps InProcess and records the steps it saw, proving
+// the Trainer routes every iteration through the configured exchange.
+type exchangeRecorder struct {
+	steps []int
+}
+
+func (r *exchangeRecorder) Exchange(step int, ins []ExchangeInput, agg []float64) error {
+	r.steps = append(r.steps, step)
+	return InProcess{}.Exchange(step, ins, agg)
+}
+
+func TestTrainerUsesConfiguredExchange(t *testing.T) {
+	rec := &exchangeRecorder{}
+	tr := convTrainer(t, 2, "topk", 0.05, false, 6, nil)
+	tr.exchange = rec
+	if _, _, err := tr.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.steps) != 4 {
+		t.Fatalf("exchange called %d times, want 4", len(rec.steps))
+	}
+	for i, s := range rec.steps {
+		if s != i {
+			t.Errorf("exchange step %d reported as %d", i, s)
+		}
+	}
+}

@@ -23,6 +23,10 @@ type SimConfig struct {
 	Workload Workload
 	// Net is the cluster fabric (zero value: the paper's 8-node 25 GbE).
 	Net netsim.Network
+	// Collective selects the exchange schedule the network prices
+	// (ring, all-gather, parameter server). The zero value CollectiveAuto
+	// keeps the paper's pairing: ring for dense, all-gather for sparse.
+	Collective netsim.Collective
 	// Dev is the compression device profile (zero value: GPU).
 	Dev device.Profile
 	// NewCompressor constructs the compressor under test (nil: none).
@@ -149,7 +153,8 @@ func SimulateWorkload(cfg SimConfig) (*SimResult, error) {
 	} else {
 		computeTime = cfg.Dev.ComputeTime(wl.Dim, wl.BatchSize)
 	}
-	commDense := cfg.Net.CommTime(encoding.DenseSize(wl.Dim), 0, false)
+	denseBytes := encoding.DenseSize(wl.Dim)
+	commDense := cfg.Net.CollectiveTime(cfg.Collective, denseBytes, denseBytes, false)
 
 	kSim := compress.TargetK(simDim, delta)
 	kFull := compress.TargetK(wl.Dim, delta)
@@ -197,7 +202,7 @@ func SimulateWorkload(cfg SimConfig) (*SimResult, error) {
 				nnzFull = wl.Dim
 			}
 			_, bytes := encoding.BestFormat(wl.Dim, nnzFull)
-			commLat = cfg.Net.CommTime(0, bytes, true)
+			commLat = cfg.Net.CollectiveTime(cfg.Collective, denseBytes, bytes, true)
 		}
 		sumComp += compressLat
 		sumComm += commLat

@@ -174,6 +174,46 @@ func TestSimulateDefaultsAndErrors(t *testing.T) {
 	}
 }
 
+// TestSimulateCollectiveKnob checks that SimulateWorkload prices the
+// chosen topology: the parameter server's central bottleneck must cost
+// more than the all-gather on the same sparse run, and explicit choices
+// must reproduce the Auto pairing.
+func TestSimulateCollectiveKnob(t *testing.T) {
+	wl, err := WorkloadByName("vgg16-cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(coll netsim.Collective, factory func() compress.Compressor) *SimResult {
+		res, err := SimulateWorkload(SimConfig{
+			Workload:      wl,
+			Collective:    coll,
+			NewCompressor: factory,
+			Delta:         0.01,
+			Iters:         10,
+			Seed:          3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	auto := run(netsim.CollectiveAuto, topkFactory)
+	ag := run(netsim.CollectiveAllGather, topkFactory)
+	ps := run(netsim.CollectivePS, topkFactory)
+	if auto.CommTime != ag.CommTime {
+		t.Errorf("auto sparse comm %v != all-gather %v", auto.CommTime, ag.CommTime)
+	}
+	if ps.CommTime <= ag.CommTime {
+		t.Errorf("PS comm %v should exceed all-gather %v (central dense pull)", ps.CommTime, ag.CommTime)
+	}
+	// Dense runs: auto and ring agree.
+	autoDense := run(netsim.CollectiveAuto, nil)
+	ringDense := run(netsim.CollectiveRing, nil)
+	if autoDense.CommTime != ringDense.CommTime {
+		t.Errorf("auto dense comm %v != ring %v", autoDense.CommTime, ringDense.CommTime)
+	}
+}
+
 // TestComputeTimeIsFabricInvariant pins compute to the reference
 // cluster's overhead calibration: swapping the fabric must change only
 // the communication stage, not the modelled forward+backward time.

@@ -10,6 +10,12 @@
 // same Compressor interface and converts achieved sparsity into
 // communication time via internal/netsim. Both are deterministic for a
 // fixed Seed, including with Workers > 1.
+//
+// Gradient aggregation is a strategy: the default GradientExchange is
+// the in-process shared-memory reducer, and internal/cluster substitutes
+// real message-passing collectives over a Transport without the Trainer
+// noticing (bit-identically, for the order-preserving collectives over a
+// lossless wire format).
 package dist
 
 import (
@@ -52,6 +58,13 @@ type TrainerConfig struct {
 	// Seed fixes every random stream (batch draws and randomized
 	// compressors).
 	Seed int64
+	// Exchange aggregates the workers' gradients each step. Nil selects
+	// the in-process shared-memory reducer; internal/cluster plugs real
+	// message-passing collectives in here. Exchanges that sum in
+	// worker-index order over a lossless wire format (all-gather and
+	// parameter-server over encoding.FormatPairs64) reproduce the
+	// in-process losses bit-for-bit.
+	Exchange GradientExchange
 	// OnGradient, if set, observes worker 0's gradient each iteration
 	// exactly as its compressor sees it: after clipping and, under EC,
 	// with the carried residual added (internal/trace.Recorder hooks in
@@ -89,15 +102,17 @@ type Trainer struct {
 	// recent Step (1 for dense training).
 	LastRatio float64
 
-	cfg     TrainerConfig
-	params  []*nn.Param
-	dim     int
-	k       int // target non-zeros per worker, 0 when dense
-	workers []*worker
-	modelMu sync.Mutex
-	agg     []float64
-	tapBuf  []float64
-	iter    int
+	cfg      TrainerConfig
+	params   []*nn.Param
+	dim      int
+	k        int // target non-zeros per worker, 0 when dense
+	workers  []*worker
+	modelMu  sync.Mutex
+	agg      []float64
+	ins      []ExchangeInput
+	exchange GradientExchange
+	tapBuf   []float64
+	iter     int
 }
 
 // NewTrainer validates the configuration and allocates per-worker state.
@@ -124,6 +139,11 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		dim:       dim,
 		workers:   make([]*worker, cfg.Workers),
 		agg:       make([]float64, dim),
+		ins:       make([]ExchangeInput, cfg.Workers),
+		exchange:  cfg.Exchange,
+	}
+	if t.exchange == nil {
+		t.exchange = InProcess{}
 	}
 	if compressed {
 		t.k = compress.TargetK(dim, cfg.Delta)
@@ -158,6 +178,10 @@ func workerSeed(seed int64, w int) int64 {
 
 // Dim returns the model parameter count d.
 func (t *Trainer) Dim() int { return t.dim }
+
+// Params exposes the model's trainable parameters (for weight
+// inspection in tests and checkpoint-style tooling).
+func (t *Trainer) Params() []*nn.Param { return t.params }
 
 // localGradient runs one worker's half-step: batch draw, forward,
 // backward, clip, and compression. Only the model pass holds the mutex.
@@ -236,22 +260,16 @@ func (t *Trainer) Step() (float64, error) {
 			return 0, w.err
 		}
 	}
-	tensor.Zero(t.agg)
 	loss, ratio := 0.0, 0.0
-	for _, w := range t.workers {
-		if w.sparse != nil {
-			// Sparse aggregation: scatter-add the (index, value) pairs
-			// directly into the shared accumulator — O(sum of nnz), no
-			// per-worker densify.
-			w.sparse.AddTo(t.agg)
-		} else {
-			tensor.Add(w.flat, t.agg)
-		}
+	for i, w := range t.workers {
+		t.ins[i] = ExchangeInput{Worker: w.id, Dense: w.flat, Sparse: w.sparse}
 		loss += w.loss
 		ratio += w.ratio
 	}
+	if err := t.exchange.Exchange(t.iter, t.ins, t.agg); err != nil {
+		return 0, fmt.Errorf("dist: exchange at step %d: %w", t.iter, err)
+	}
 	inv := 1 / float64(len(t.workers))
-	tensor.Scale(inv, t.agg)
 	loss *= inv
 	t.LastRatio = ratio * inv
 

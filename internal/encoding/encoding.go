@@ -1,8 +1,10 @@
 // Package encoding provides the wire formats used to ship sparse and dense
 // gradients between workers: (uint32 index, float32 value) pair encoding,
 // a bitmap+values encoding that wins at moderate densities, dense float32
-// encoding for the no-compression baseline, and exact size accounting that
-// the network cost model consumes.
+// encoding for the no-compression baseline, delta-varint index gaps, a
+// lossless float64 pair format for bit-exact cluster training, and exact
+// size accounting that the network cost model and the instrumented
+// cluster transport both consume.
 package encoding
 
 import (
@@ -67,6 +69,8 @@ func Encode(s *tensor.Sparse, f Format) ([]byte, error) {
 		return encodeDense(s), nil
 	case FormatDeltaVarint:
 		return EncodeDeltaVarint(s)
+	case FormatPairs64:
+		return encodePairs64(s), nil
 	default:
 		return nil, fmt.Errorf("encoding: unknown format %d", f)
 	}
@@ -123,8 +127,12 @@ func encodeDense(s *tensor.Sparse) []byte {
 	return buf
 }
 
-// Decode deserialises a gradient encoded by Encode. Values round-trip
-// through float32, matching the precision real systems transmit.
+// Decode deserialises a gradient encoded by Encode. All formats except
+// FormatPairs64 round-trip values through float32, matching the precision
+// real systems transmit. Decode never panics on malformed input: header
+// fields are validated against the buffer length before any
+// size-proportional allocation, so hostile headers claiming huge
+// dimensions or counts fail cleanly.
 func Decode(buf []byte) (*tensor.Sparse, error) {
 	if len(buf) < headerSize {
 		return nil, fmt.Errorf("encoding: truncated header")
@@ -132,6 +140,9 @@ func Decode(buf []byte) (*tensor.Sparse, error) {
 	f := Format(buf[0])
 	dim := int(binary.LittleEndian.Uint32(buf[1:5]))
 	nnz := int(binary.LittleEndian.Uint32(buf[5:9]))
+	if nnz > dim {
+		return nil, fmt.Errorf("encoding: nnz %d exceeds dim %d", nnz, dim)
+	}
 	switch f {
 	case FormatPairs:
 		return decodePairs(buf, dim, nnz)
@@ -141,6 +152,8 @@ func Decode(buf []byte) (*tensor.Sparse, error) {
 		return decodeDense(buf, dim, nnz)
 	case FormatDeltaVarint:
 		return decodeDeltaVarint(buf, dim, nnz)
+	case FormatPairs64:
+		return decodePairs64(buf, dim, nnz)
 	default:
 		return nil, fmt.Errorf("encoding: unknown format byte %d", buf[0])
 	}
@@ -166,6 +179,11 @@ func decodeBitmap(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
 		return nil, fmt.Errorf("encoding: bitmap size %d, want %d", len(buf), BitmapSize(dim, nnz))
 	}
 	bitmap := buf[headerSize : headerSize+(dim+7)/8]
+	if dim%8 != 0 && bitmap[len(bitmap)-1]>>(uint(dim)%8) != 0 {
+		// Set padding bits past dim would make two distinct buffers decode
+		// identically; reject the non-canonical form.
+		return nil, fmt.Errorf("encoding: bitmap padding bits set past dim %d", dim)
+	}
 	idx := make([]int32, 0, nnz)
 	for j := 0; j < dim; j++ {
 		if bitmap[j/8]&(1<<(uint(j)%8)) != 0 {

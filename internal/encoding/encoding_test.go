@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -117,6 +118,60 @@ func TestEncodeBestRoundTrip(t *testing.T) {
 		}
 		if got.NNZ() != s.NNZ() {
 			t.Fatalf("k=%d: NNZ %d != %d", k, got.NNZ(), s.NNZ())
+		}
+	}
+}
+
+func TestPairs64RoundTripIsLossless(t *testing.T) {
+	// Values chosen to NOT be float32-representable: pairs64 must return
+	// them bit-for-bit while every float32 format would perturb them.
+	vals := []float64{1e-300, math.Pi, -2.0000000000000004, math.Nextafter(1, 2)}
+	s, err := tensor.NewSparse(50, []int32{1, 7, 20, 49}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := Encode(s, FormatPairs64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != Pairs64Size(50, 4) {
+		t.Errorf("size %d, want %d", len(buf), Pairs64Size(50, 4))
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got.Vals[i] != vals[i] {
+			t.Errorf("value %d: %v != %v (lossy round-trip)", i, got.Vals[i], vals[i])
+		}
+	}
+	// Sanity: the float32 pair format really would lose these values.
+	lossy, _ := Encode(s, FormatPairs)
+	back, _ := Decode(lossy)
+	if back.Vals[0] == vals[0] {
+		t.Error("expected float32 round-trip to perturb 1e-300")
+	}
+}
+
+func TestDecodeRejectsHostileHeaders(t *testing.T) {
+	// Headers claiming huge nnz/dim must fail fast without allocating.
+	mk := func(f Format, dim, nnz uint32, payload int) []byte {
+		buf := make([]byte, 9+payload)
+		buf[0] = byte(f)
+		binary.LittleEndian.PutUint32(buf[1:5], dim)
+		binary.LittleEndian.PutUint32(buf[5:9], nnz)
+		return buf
+	}
+	cases := [][]byte{
+		mk(FormatPairs, 100, 200, 0),                       // nnz > dim
+		mk(FormatDeltaVarint, 1<<31, 1<<30, 64),            // huge nnz, tiny buffer
+		mk(FormatPairs64, 4_000_000_000, 3_000_000_000, 8), // huge lossless claim
+		mk(FormatBitmap, 4_000_000_000, 10, 8),             // huge bitmap claim
+	}
+	for i, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("case %d: hostile header accepted", i)
 		}
 	}
 }

@@ -1,0 +1,74 @@
+package encoding
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzDecode drives Decode with arbitrary buffers: it must never panic,
+// must reject malformed and truncated input with a clean error, and any
+// buffer it accepts must decode to a Sparse that satisfies the package
+// invariants and re-encodes to the same bytes in its own format.
+func FuzzDecode(f *testing.F) {
+	s, err := tensor.NewSparse(64, []int32{0, 3, 17, 40, 63}, []float64{1, -2.5, 0.25, 3, -4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed corpus: one valid encoding per format, plus a truncation and a
+	// header corruption of each so the fuzzer starts at the error paths.
+	for _, format := range []Format{FormatPairs, FormatBitmap, FormatDense, FormatDeltaVarint, FormatPairs64} {
+		buf, err := Encode(s, format)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		f.Add(buf[:len(buf)-1])
+		bad := append([]byte(nil), buf...)
+		binary.LittleEndian.PutUint32(bad[5:9], 1<<31) // hostile nnz
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(FormatDeltaVarint), 255, 255, 255, 255, 255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		s, err := Decode(buf)
+		if err != nil {
+			if s != nil {
+				t.Fatal("non-nil Sparse alongside error")
+			}
+			return
+		}
+		if s.NNZ() > s.Dim {
+			t.Fatalf("decoded nnz %d exceeds dim %d", s.NNZ(), s.Dim)
+		}
+		prev := int32(-1)
+		for _, j := range s.Idx {
+			if j <= prev || int(j) >= s.Dim {
+				t.Fatalf("decoded indices invalid: %v (dim %d)", s.Idx, s.Dim)
+			}
+			prev = j
+		}
+		// Accepted buffers must round-trip bytewise through their own
+		// format. Two exemptions: the dense format re-derives nnz from the
+		// payload, and NaN payload bits are not preserved through the
+		// float32<->float64 conversions of the lossy formats (signaling
+		// NaNs quiet on conversion).
+		format := Format(buf[0])
+		for _, v := range s.Vals {
+			if math.IsNaN(v) {
+				return
+			}
+		}
+		re, err := Encode(s, format)
+		if err != nil {
+			t.Fatalf("re-encode of accepted buffer failed: %v", err)
+		}
+		if format != FormatDense && !bytes.Equal(re, buf) {
+			t.Fatalf("format %d: re-encode differs from accepted input", format)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// FormatPairs64 encodes (uint32 index, float64 value) per non-zero: 12
+// bytes each. It is the only lossless format — values round-trip bitwise
+// instead of through float32 — so it is what internal/cluster ships when
+// a training run must stay bit-identical to the in-process aggregation
+// path. BestFormat never picks it: it exists for exactness, not size.
+const FormatPairs64 Format = 4
+
+// Pairs64Size returns the encoded size in bytes of k non-zeros of a
+// d-dimensional vector in lossless pair format.
+func Pairs64Size(d, k int) int { return headerSize + 12*k }
+
+func encodePairs64(s *tensor.Sparse) []byte {
+	buf := make([]byte, Pairs64Size(s.Dim, s.NNZ()))
+	putHeader(buf, FormatPairs64, s.Dim, s.NNZ())
+	off := headerSize
+	for i, j := range s.Idx {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(j))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(s.Vals[i]))
+		off += 12
+	}
+	return buf
+}
+
+func decodePairs64(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
+	if len(buf) != Pairs64Size(dim, nnz) {
+		return nil, fmt.Errorf("encoding: pairs64 size %d, want %d", len(buf), Pairs64Size(dim, nnz))
+	}
+	idx := make([]int32, nnz)
+	vals := make([]float64, nnz)
+	off := headerSize
+	for i := 0; i < nnz; i++ {
+		idx[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		off += 12
+	}
+	return tensor.NewSparse(dim, idx, vals)
+}

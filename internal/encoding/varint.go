@@ -48,6 +48,13 @@ func EncodeDeltaVarint(s *tensor.Sparse) ([]byte, error) {
 // decodeDeltaVarint is the counterpart of EncodeDeltaVarint; it is wired
 // into Decode via the format byte.
 func decodeDeltaVarint(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
+	// Every gap takes at least one byte and every value exactly four, so a
+	// buffer shorter than headerSize+5*nnz cannot be valid. Checking first
+	// keeps a hostile header from provoking a huge allocation.
+	if len(buf) < headerSize+5*nnz {
+		return nil, fmt.Errorf("encoding: delta-varint size %d below minimum %d for nnz %d",
+			len(buf), headerSize+5*nnz, nnz)
+	}
 	idx := make([]int32, nnz)
 	pos := headerSize
 	prev := int64(-1)
@@ -55,6 +62,15 @@ func decodeDeltaVarint(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
 		gap, n := binary.Uvarint(buf[pos:])
 		if n <= 0 {
 			return nil, fmt.Errorf("encoding: corrupt varint gap at element %d", i)
+		}
+		if gap == 0 || gap > uint64(dim) {
+			return nil, fmt.Errorf("encoding: varint gap %d out of range at element %d", gap, i)
+		}
+		if n > 1 && buf[pos+n-1] == 0 {
+			// Redundant trailing continuation bytes would let two distinct
+			// buffers decode to the same vector, breaking the exact
+			// byte-accounting the transport instrumentation relies on.
+			return nil, fmt.Errorf("encoding: non-canonical varint gap at element %d", i)
 		}
 		pos += n
 		prev += int64(gap)

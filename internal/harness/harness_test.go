@@ -91,6 +91,16 @@ func TestTable1Catalog(t *testing.T) {
 	}
 }
 
+// skipIfShort skips the multi-second figure regenerations under
+// `go test -short`, keeping the fast CI path fast; the full figure
+// suite still runs them.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-second figure regeneration skipped in -short mode")
+	}
+}
+
 // runFigure executes a figure entry point with fast options and returns
 // its output.
 func runFigure(t *testing.T, name string, f func() error, buf *bytes.Buffer) string {
@@ -116,6 +126,7 @@ func TestFig1(t *testing.T) {
 }
 
 func TestFig3RNNBenchmarks(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	out := runFigure(t, "fig3", func() error { return Fig3(&buf, fastOpt) }, &buf)
 	for _, want := range []string{"lstm-ptb", "lstm-an4", "speed-up", "throughput", "estimation quality"} {
@@ -126,6 +137,7 @@ func TestFig3RNNBenchmarks(t *testing.T) {
 }
 
 func TestFig5And6CNNBenchmarks(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	out := runFigure(t, "fig5", func() error { return Fig5(&buf, fastOpt) }, &buf)
 	if !strings.Contains(out, "resnet20-cifar10") || !strings.Contains(out, "vgg16-cifar10") {
@@ -155,6 +167,7 @@ func TestFig2And8Fitting(t *testing.T) {
 }
 
 func TestFig4TrainingLoss(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	out := runFigure(t, "fig4", func() error { return Fig4(&buf, Options{Iters: 25, Seed: 3}) }, &buf)
 	for _, want := range []string{"sidco-e", "gaussiank", "final loss", "loss vs iteration"} {
@@ -173,6 +186,7 @@ func TestFig7Compressibility(t *testing.T) {
 }
 
 func TestFig9Smoothed(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	out := runFigure(t, "fig9", func() error { return Fig9(&buf, fastOpt) }, &buf)
 	if !strings.Contains(out, "smoothed achieved ratio") {
@@ -181,6 +195,7 @@ func TestFig9Smoothed(t *testing.T) {
 }
 
 func TestFig10LossVsTime(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	out := runFigure(t, "fig10", func() error { return Fig10(&buf, Options{Iters: 25, SimScale: 400, Seed: 5}) }, &buf)
 	if !strings.Contains(out, "wall time") {
@@ -189,6 +204,7 @@ func TestFig10LossVsTime(t *testing.T) {
 }
 
 func TestFig11Breakdown(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	out := runFigure(t, "fig11", func() error { return Fig11(&buf, fastOpt) }, &buf)
 	for _, want := range []string{"compute", "compress", "comm", "VGG19"} {
@@ -199,6 +215,7 @@ func TestFig11Breakdown(t *testing.T) {
 }
 
 func TestFig12CPUDevice(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	out := runFigure(t, "fig12", func() error { return Fig12(&buf, fastOpt) }, &buf)
 	if !strings.Contains(out, "CPU compression device") {
@@ -207,6 +224,7 @@ func TestFig12CPUDevice(t *testing.T) {
 }
 
 func TestFig13NVLink(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	out := runFigure(t, "fig13", func() error { return Fig13(&buf, fastOpt) }, &buf)
 	if !strings.Contains(out, "Fig 13") {
@@ -241,6 +259,21 @@ func TestFig18AllSIDs(t *testing.T) {
 	}
 }
 
+func TestTopologyStudy(t *testing.T) {
+	var buf bytes.Buffer
+	out := runFigure(t, "topology", func() error {
+		return TopologyStudy(&buf, []string{"resnet20-cifar10"}, "topk", fastOpt)
+	}, &buf)
+	for _, want := range []string{"Topology study", "ring", "allgather", "ps", "speed-up"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TopologyStudy missing %q:\n%s", want, out)
+		}
+	}
+	if err := TopologyStudy(&buf, []string{"bogus"}, "topk", fastOpt); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
 func TestGoWallClock(t *testing.T) {
 	var buf bytes.Buffer
 	if err := GoWallClock(&buf, 200000, 0.01, 1, 6); err != nil {
@@ -252,6 +285,7 @@ func TestGoWallClock(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	skipIfShort(t)
 	cases := []struct {
 		name string
 		f    func(buf *bytes.Buffer) error

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/dist"
+	"repro/internal/netsim"
+)
+
+// topologyCollectives are the schedules the topology study sweeps; they
+// are the same three that internal/cluster executes as real message
+// passing.
+var topologyCollectives = []netsim.Collective{
+	netsim.CollectiveRing, netsim.CollectiveAllGather, netsim.CollectivePS,
+}
+
+// TopologyStudy compares the three collective topologies on every
+// requested workload: per-iteration communication time and speedup over
+// the dense ring baseline, at each compression ratio. It is the analytic
+// counterpart of cmd/sidco-cluster's measured exchanges — the same
+// SimConfig.Collective knob any harness figure can now set.
+func TopologyStudy(w io.Writer, workloads []string, compressor string, opt Options) error {
+	opt = opt.withDefaults()
+	if len(workloads) == 0 {
+		workloads = []string{"lstm-ptb", "resnet20-cifar10"}
+	}
+	if compressor == "" {
+		compressor = "sidco-e"
+	}
+	for _, wlName := range workloads {
+		wl, err := dist.WorkloadByName(wlName)
+		if err != nil {
+			return err
+		}
+		tbl := NewTable(
+			fmt.Sprintf("Topology study — %s (%s, 8x 25GbE): comm time and speed-up vs dense ring", wlName, compressor),
+			"collective", "dense comm",
+			fmt.Sprintf("comm d=%g", Ratios[0]), fmt.Sprintf("comm d=%g", Ratios[2]),
+			fmt.Sprintf("speedup d=%g", Ratios[0]), fmt.Sprintf("speedup d=%g", Ratios[2]))
+		base, err := dist.SimulateWorkload(dist.SimConfig{
+			Workload: wl, Collective: netsim.CollectiveRing,
+			Iters: opt.Iters, SimScale: opt.SimScale, Seed: opt.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		for _, coll := range topologyCollectives {
+			dense, err := dist.SimulateWorkload(dist.SimConfig{
+				Workload: wl, Collective: coll,
+				Iters: opt.Iters, SimScale: opt.SimScale, Seed: opt.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			row := []string{coll.String(), FmtSecs(dense.CommTime)}
+			var comms, speeds []string
+			for _, delta := range []float64{Ratios[0], Ratios[2]} {
+				res, err := dist.SimulateWorkload(dist.SimConfig{
+					Workload: wl, Collective: coll, Dev: device.GPU(),
+					NewCompressor: Factory(compressor, opt.Seed), Delta: delta,
+					Iters: opt.Iters, SimScale: opt.SimScale, Seed: opt.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				comms = append(comms, FmtSecs(res.CommTime))
+				speeds = append(speeds, FmtX(dist.Speedup(res, base)))
+			}
+			row = append(row, comms...)
+			row = append(row, speeds...)
+			tbl.AddRow(row...)
+		}
+		tbl.Render(w)
+	}
+	return nil
+}

@@ -91,8 +91,97 @@ func (n Network) ParameterServer(pushBytes, pullBytes int) float64 {
 // (nil payload semantics: bytesSparse < 0) uses ring all-reduce, sparse
 // uses all-gather.
 func (n Network) CommTime(denseBytes, sparseBytes int, compressed bool) float64 {
-	if compressed {
-		return n.AllGatherSparse(sparseBytes)
+	return n.CollectiveTime(CollectiveAuto, denseBytes, sparseBytes, compressed)
+}
+
+// Collective names a gradient-exchange schedule. internal/cluster executes
+// the same three schedules as real message exchanges; this package prices
+// them analytically.
+type Collective int
+
+const (
+	// CollectiveAuto picks ring all-reduce for dense exchanges and
+	// all-gather for sparse ones — the pairing the paper's cluster uses.
+	CollectiveAuto Collective = iota
+	// CollectiveRing is ring all-reduce: 2(N-1) steps of bytes/N.
+	CollectiveRing
+	// CollectiveAllGather is the sparse all-gather ring: N-1 steps each
+	// forwarding one worker's whole payload.
+	CollectiveAllGather
+	// CollectivePS is the central parameter server: N pushes, N pulls.
+	CollectivePS
+)
+
+// String implements fmt.Stringer.
+func (c Collective) String() string {
+	switch c {
+	case CollectiveAuto:
+		return "auto"
+	case CollectiveRing:
+		return "ring"
+	case CollectiveAllGather:
+		return "allgather"
+	case CollectivePS:
+		return "ps"
+	default:
+		return fmt.Sprintf("collective(%d)", int(c))
 	}
-	return n.AllReduceDense(denseBytes)
+}
+
+// CollectiveTime prices one gradient exchange over the chosen collective.
+// denseBytes is the full-model payload (used by ring and as the PS pull
+// size), sparseBytes the per-worker encoded payload (used by all-gather
+// and as the PS push size when compressed).
+func (n Network) CollectiveTime(c Collective, denseBytes, sparseBytes int, compressed bool) float64 {
+	switch c {
+	case CollectiveRing:
+		return n.AllReduceDense(denseBytes)
+	case CollectiveAllGather:
+		return n.AllGatherSparse(sparseBytes)
+	case CollectivePS:
+		push := denseBytes
+		if compressed {
+			push = sparseBytes
+		}
+		return n.ParameterServer(push, denseBytes)
+	default:
+		if compressed {
+			return n.AllGatherSparse(sparseBytes)
+		}
+		return n.AllReduceDense(denseBytes)
+	}
+}
+
+// Message-count formulas of the three collectives, shared with
+// internal/cluster's instrumented-transport tests: the analytic model
+// charges one latency alpha per step, and the message-passing engine must
+// put exactly that many messages on the wire.
+
+// RingMessages returns the messages each node sends in a ring all-reduce
+// of n workers: N-1 reduce-scatter steps plus N-1 all-gather steps.
+func RingMessages(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * (n - 1)
+}
+
+// AllGatherMessages returns the messages each node sends in a ring
+// all-gather of n workers: N-1 forwarding steps.
+func AllGatherMessages(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return n - 1
+}
+
+// PSMessages returns the total messages of a parameter-server exchange
+// with n workers: N pushes plus N pulls. Unlike the ring collectives a
+// single worker still exchanges 2 messages — the server is a distinct
+// node.
+func PSMessages(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return 2 * n
 }

@@ -135,6 +135,64 @@ func TestParameterServerAccounting(t *testing.T) {
 	}
 }
 
+func TestCollectiveTimeDispatch(t *testing.T) {
+	n := Cluster25GbE(8)
+	denseBytes, sparseBytes := 4<<20, 1<<16
+	cases := []struct {
+		c          Collective
+		compressed bool
+		want       float64
+	}{
+		{CollectiveAuto, false, n.AllReduceDense(denseBytes)},
+		{CollectiveAuto, true, n.AllGatherSparse(sparseBytes)},
+		{CollectiveRing, false, n.AllReduceDense(denseBytes)},
+		{CollectiveAllGather, true, n.AllGatherSparse(sparseBytes)},
+		{CollectivePS, true, n.ParameterServer(sparseBytes, denseBytes)},
+		{CollectivePS, false, n.ParameterServer(denseBytes, denseBytes)},
+	}
+	for _, c := range cases {
+		if got := n.CollectiveTime(c.c, denseBytes, sparseBytes, c.compressed); got != c.want {
+			t.Errorf("%v compressed=%v: %v, want %v", c.c, c.compressed, got, c.want)
+		}
+	}
+}
+
+func TestCollectiveMessageFormulas(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		if got := RingMessages(n); got != 2*(n-1) {
+			t.Errorf("RingMessages(%d) = %d", n, got)
+		}
+		if got := AllGatherMessages(n); got != n-1 {
+			t.Errorf("AllGatherMessages(%d) = %d", n, got)
+		}
+		if got := PSMessages(n); got != 2*n {
+			t.Errorf("PSMessages(%d) = %d", n, got)
+		}
+	}
+	if RingMessages(1) != 0 || AllGatherMessages(1) != 0 {
+		t.Error("single worker should need no ring messages")
+	}
+	// PS keeps a distinct server node, so one worker still pushes and
+	// pulls — matching what cluster.Engine actually puts on the wire.
+	if PSMessages(1) != 2 {
+		t.Errorf("PSMessages(1) = %d, want 2", PSMessages(1))
+	}
+	if PSMessages(0) != 0 {
+		t.Errorf("PSMessages(0) = %d, want 0", PSMessages(0))
+	}
+}
+
+func TestCollectiveStrings(t *testing.T) {
+	for c, want := range map[Collective]string{
+		CollectiveAuto: "auto", CollectiveRing: "ring",
+		CollectiveAllGather: "allgather", CollectivePS: "ps",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
 func TestPresetClusters(t *testing.T) {
 	if c := Cluster25GbE(8); c.Workers != 8 || c.BandwidthBps != 25e9 {
 		t.Error("25GbE preset wrong")

@@ -147,6 +147,52 @@ func TestQuickSelectKthPanicsOutOfRange(t *testing.T) {
 	}
 }
 
+func TestRadixSelectAbsKthMatchesQuickSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 90; trial++ {
+		// Below 1<<14 RadixSelectAbsKth takes the quickselect fallback;
+		// mix small sizes with ones large enough to drive the radix path
+		// proper.
+		n := 1 + rng.Intn(300)
+		if trial%3 == 0 {
+			n = 1<<14 + rng.Intn(1<<14)
+		}
+		g := make([]float64, n)
+		for i := range g {
+			switch rng.Intn(10) {
+			case 0:
+				g[i] = 0 // exercise equal-bucket paths
+			case 1:
+				g[i] = math.Copysign(1.5, rng.NormFloat64()) // duplicates
+			default:
+				g[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(9)-4))
+			}
+		}
+		k := 1 + rng.Intn(n)
+		abs := make([]float64, n)
+		for i, gi := range g {
+			abs[i] = math.Abs(gi)
+		}
+		want := QuickSelectKth(abs, k)
+		if got := RadixSelectAbsKth(g, k); got != want {
+			t.Fatalf("trial %d (n=%d k=%d): radix %v, quickselect %v", trial, n, k, got, want)
+		}
+	}
+}
+
+func TestRadixSelectAbsKthPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			RadixSelectAbsKth([]float64{1, 2}, k)
+		}()
+	}
+}
+
 func TestTopKThreshold(t *testing.T) {
 	g := []float64{0.1, -0.9, 0.5, -0.3}
 	if got := TopKThreshold(g, 2); got != 0.5 {
@@ -216,6 +262,20 @@ func BenchmarkTopKSort(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		TopKSort(g, k)
+	}
+}
+
+func BenchmarkRadixSelectAbsKth(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	g := make([]float64, 1<<20)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	k := len(g) / 1000
+	b.SetBytes(int64(8 * len(g)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RadixSelectAbsKth(g, k)
 	}
 }
 
