@@ -7,14 +7,18 @@ package main
 
 import (
 	"io"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
 
 	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/harness"
+	"repro/internal/nn"
 	"repro/internal/simgrad"
+	"repro/internal/tensor"
 )
 
 // benchOpt keeps the per-iteration cost of the figure benches moderate;
@@ -178,10 +182,97 @@ func benchCompressor(b *testing.B, c compress.Compressor, delta float64) {
 	}
 }
 
-func BenchmarkCompressTopK(b *testing.B)      { benchCompressor(b, compress.TopK{}, 0.001) }
+func BenchmarkCompressTopK(b *testing.B)      { benchCompressor(b, compress.NewTopK(), 0.001) }
 func BenchmarkCompressDGC(b *testing.B)       { benchCompressor(b, compress.NewDGC(1), 0.001) }
 func BenchmarkCompressRedSync(b *testing.B)   { benchCompressor(b, compress.NewRedSync(), 0.001) }
 func BenchmarkCompressGaussianK(b *testing.B) { benchCompressor(b, compress.NewGaussianKSGD(), 0.001) }
 func BenchmarkCompressSIDCoE(b *testing.B)    { benchCompressor(b, core.NewE(), 0.001) }
 func BenchmarkCompressSIDCoGP(b *testing.B)   { benchCompressor(b, core.NewGammaGP(), 0.001) }
 func BenchmarkCompressSIDCoP(b *testing.B)    { benchCompressor(b, core.NewGP(), 0.001) }
+
+// Streaming fast-path throughput: the same compressors through
+// CompressInto over reused sparse storage. Run with -benchmem — the
+// whole point of the pipeline is the 0 allocs/op column.
+
+func benchCompressInto(b *testing.B, c compress.Compressor, delta float64) {
+	b.Helper()
+	g := rawGrad(1 << 20)
+	dst := &tensor.Sparse{}
+	if err := c.CompressInto(dst, g, delta); err != nil { // warm scratch
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * len(g)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.CompressInto(dst, g, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressIntoTopK(b *testing.B)    { benchCompressInto(b, compress.NewTopK(), 0.001) }
+func BenchmarkCompressIntoDGC(b *testing.B)     { benchCompressInto(b, compress.NewDGC(1), 0.001) }
+func BenchmarkCompressIntoRedSync(b *testing.B) { benchCompressInto(b, compress.NewRedSync(), 0.001) }
+func BenchmarkCompressIntoGaussianK(b *testing.B) {
+	benchCompressInto(b, compress.NewGaussianKSGD(), 0.001)
+}
+func BenchmarkCompressIntoSIDCoE(b *testing.B)  { benchCompressInto(b, core.NewE(), 0.001) }
+func BenchmarkCompressIntoSIDCoGP(b *testing.B) { benchCompressInto(b, core.NewGammaGP(), 0.001) }
+func BenchmarkCompressIntoSIDCoP(b *testing.B)  { benchCompressInto(b, core.NewGP(), 0.001) }
+
+// BenchmarkTrainerStep measures one synchronous data-parallel step of a
+// small dense model with EC+SIDCo compression — the -benchmem guard on
+// the end-to-end zero-allocation pipeline (expected: a handful of
+// goroutine-spawn allocations per step, nothing proportional to model
+// or worker state).
+func BenchmarkTrainerStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	model := nn.NewSequential(
+		nn.NewDense("d1", 64, 48, rng),
+		&nn.ReLU{},
+		nn.NewDense("d2", 48, 10, rng),
+	)
+	const batch, workers = 16, 4
+	xs := make([]*nn.Tensor, workers)
+	ts := make([][]int, workers)
+	for w := range xs {
+		xs[w] = nn.NewTensor(batch, 64)
+		ts[w] = make([]int, batch)
+	}
+	tr, err := dist.NewTrainer(dist.TrainerConfig{
+		Workers: workers,
+		Model:   model,
+		Loss:    &nn.SoftmaxCrossEntropy{},
+		Opt:     &nn.SGD{LR: 0.05},
+		Batch: func(worker int, rng *rand.Rand) (*nn.Tensor, []int) {
+			x, targets := xs[worker], ts[worker]
+			for i := range targets {
+				targets[i] = rng.Intn(10)
+				for j := 0; j < 64; j++ {
+					x.Data[i*64+j] = rng.NormFloat64()
+				}
+			}
+			return x, targets
+		},
+		NewCompressor: func() compress.Compressor { return core.NewE() },
+		Delta:         0.01,
+		EC:            true,
+		Seed:          3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,6 +17,10 @@
 //     synchronous step.
 //  4. Topology study: the analytic comm-time comparison across
 //     collectives for the Table 1 workloads.
+//  5. Chunk study: the chunked, pipelined all-gather versus the
+//     monolithic schedule on the virtual clock — homogeneous and
+//     straggler scenarios, with exact traffic cross-checks and
+//     bit-identity of the chunked aggregate.
 //
 // Usage:
 //
@@ -49,7 +53,7 @@ func main() {
 	dim := flag.Int("dim", 1<<16, "gradient dimension for the traffic section")
 	straggler := flag.Float64("straggler", 4, "compute slowdown factor of the last node in section 3")
 	seed := flag.Int64("seed", 1, "random seed")
-	section := flag.Int("section", 0, "run a single section 1-4 (0: all)")
+	section := flag.Int("section", 0, "run a single section 1-5 (0: all)")
 	flag.Parse()
 
 	run := func(n int, f func() error) {
@@ -67,6 +71,13 @@ func main() {
 	run(4, func() error {
 		return harness.TopologyStudy(os.Stdout, nil, *comp,
 			harness.Options{Iters: 30, SimScale: 400, Seed: *seed})
+	})
+	run(5, func() error {
+		return harness.ChunkStudy(os.Stdout, harness.ChunkStudyConfig{
+			Workers:   *workers,
+			Straggler: *straggler,
+			Seed:      *seed,
+		})
 	})
 }
 
@@ -273,7 +284,7 @@ func syntheticInputs(workers, dim int, delta float64, seed int64) ([]dist.Exchan
 		}
 		ins[w] = dist.ExchangeInput{Worker: w, Dense: dense}
 		if delta > 0 {
-			s, err := compress.TopK{}.Compress(dense, delta)
+			s, err := compress.NewTopK().Compress(dense, delta)
 			if err != nil {
 				return nil, err
 			}

@@ -32,7 +32,7 @@ func buildTrainer(compName string, seed int64) (*dist.Trainer, error) {
 	switch compName {
 	case "none":
 	case "topk":
-		factory = func() compress.Compressor { return compress.TopK{} }
+		factory = func() compress.Compressor { return compress.NewTopK() }
 	case "sidco-e":
 		factory = func() compress.Compressor { return core.NewE() }
 	}

@@ -21,7 +21,7 @@ func main() {
 		iters = 50
 	)
 	estimators := []compress.Compressor{
-		compress.TopK{},
+		compress.NewTopK(),
 		compress.NewDGC(3),
 		compress.NewRedSync(),
 		compress.NewGaussianKSGD(),

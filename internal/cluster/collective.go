@@ -19,6 +19,28 @@ func chunkBounds(d, n, c int) (lo, hi int) {
 	return c * d / n, (c + 1) * d / n
 }
 
+// ChunkNNZ counts how many of the ascending selection indices fall into
+// each balanced chunk range of [0, dim) — the partition the chunked
+// execution mode ships. It is THE definition of the chunk split for
+// external accounting: the harness study and traffic cross-checks use it
+// so a change to the split here cannot silently diverge from them.
+func ChunkNNZ(idx []int32, dim, chunks int) []int {
+	if chunks < 1 {
+		chunks = 1
+	}
+	counts := make([]int, chunks)
+	pos := 0
+	for c := 0; c < chunks; c++ {
+		_, hi := chunkBounds(dim, chunks, c)
+		start := pos
+		for pos < len(idx) && int(idx[pos]) < hi {
+			pos++
+		}
+		counts[c] = pos - start
+	}
+	return counts
+}
+
 // RingAllReduce runs the bandwidth-optimal ring all-reduce in place:
 // N-1 reduce-scatter steps followed by N-1 all-gather steps, each node
 // sending one ~d/N-element chunk to its ring successor. On return, data
@@ -82,16 +104,39 @@ func RingAllReduce(tp Transport, node, n int, data []float64) error {
 // for sparse gradients, whose irregular supports cannot be reduced
 // in-ring without densifying.
 func AllGather(tp Transport, node, n int, own []byte) ([][]byte, error) {
+	return AllGatherInto(tp, node, n, own, nil, nil)
+}
+
+// AllGatherInto is AllGather over reused result storage: bufs (which may
+// be nil) is grown to n slots and returned. The message schedule is
+// byte-for-byte identical to AllGather's.
+//
+// overlap, if non-nil, is invoked exactly once, after the node's own
+// payload has been sent but before any blocking receive. That is the
+// pipeline slot of the chunked execution mode: a node compresses and
+// encodes its next chunk there, so on an instrumented transport the
+// compression time charged inside the hook hides behind the current
+// chunk's in-flight collective instead of extending the critical path.
+// An overlap error aborts the schedule.
+func AllGatherInto(tp Transport, node, n int, own []byte, bufs [][]byte, overlap func() error) ([][]byte, error) {
 	if err := checkNode(tp, node, n); err != nil {
 		return nil, err
 	}
-	bufs := make([][]byte, n)
+	if cap(bufs) < n {
+		bufs = make([][]byte, n)
+	}
+	bufs = bufs[:n]
 	bufs[node] = own
 	cur := own
 	next, prev := (node+1)%n, (node+n-1)%n
 	for s := 0; s < n-1; s++ {
 		if err := tp.Send(node, next, cur); err != nil {
 			return nil, err
+		}
+		if s == 0 && overlap != nil {
+			if err := overlap(); err != nil {
+				return nil, err
+			}
 		}
 		var err error
 		cur, err = tp.Recv(node, prev)

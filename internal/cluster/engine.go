@@ -34,6 +34,23 @@ type Config struct {
 	// the start of each exchange (scaled per node by the scenario's
 	// straggler factors).
 	ComputeSec float64
+	// Chunks enables the chunked execution mode on the all-gather
+	// collective: each exchange splits the index space into this many
+	// near-equal ranges, ships every worker's selection as one encoded
+	// payload per chunk, and pipelines chunk i+1's compression while
+	// chunk i's collective is in flight. The per-chunk element budget is
+	// whatever the monolithic selection placed in each range — the global
+	// k-budget partitioned, never a per-chunk re-quota — so chunked
+	// aggregates are bit-identical to monolithic ones for any compressor.
+	// 0 or 1 keeps the monolithic schedule.
+	Chunks int
+	// CompressSec charges this much compression time per exchange to
+	// every worker's clock, split evenly across chunks. Unlike
+	// ComputeSec, which is charged up front, the per-chunk slices are
+	// charged inside the pipeline overlap slot, so under Chunks > 1 they
+	// hide behind in-flight communication (scaled per node by the
+	// scenario's straggler factors).
+	CompressSec float64
 	// Verify makes every exchange cross-check that all nodes computed
 	// identical aggregates (a distributed-consistency assertion for
 	// tests; it costs O(N*d) comparisons per step).
@@ -113,8 +130,23 @@ type Engine struct {
 	jobs    []chan job
 	results chan result
 	outs    [][]float64 // per-node aggregation buffers
+	scratch []nodeScratch
+	ident   []int32 // shared 0..dim-1 index ramp for dense-as-sparse views
 	wg      sync.WaitGroup
 	closed  bool
+}
+
+// nodeScratch is one node goroutine's reusable pipeline storage: encode
+// buffers (one per chunk — a chunk's buffer stays pinned while it
+// circulates the ring, so chunks cannot share), the all-gather result
+// slots, the decode target and the zero-copy view headers.
+type nodeScratch struct {
+	enc    [][]byte
+	gather [][]byte
+	ready  []float64 // per-chunk compression completion (virtual time)
+	dec    tensor.Sparse
+	view   tensor.Sparse // chunk subrange of the local selection
+	full   tensor.Sparse // full-support view of a dense gradient
 }
 
 // New validates cfg, builds the transport and starts the node
@@ -131,6 +163,18 @@ func New(cfg Config) (*Engine, error) {
 	format, err := cfg.Format.Format()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Chunks < 0 {
+		return nil, fmt.Errorf("cluster: Chunks = %d, need >= 0", cfg.Chunks)
+	}
+	if cfg.Chunks > 1 && cfg.Collective != netsim.CollectiveAllGather {
+		// Ring all-reduce is already d/N-chunked by construction and the
+		// parameter server has no ring to pipeline against; the chunked
+		// mode is defined for the sparse all-gather only.
+		return nil, fmt.Errorf("cluster: Chunks = %d requires the all-gather collective, got %v", cfg.Chunks, cfg.Collective)
+	}
+	if cfg.CompressSec < 0 {
+		return nil, fmt.Errorf("cluster: CompressSec = %v, need >= 0", cfg.CompressSec)
 	}
 	nodes := NodeCount(cfg.Workers, cfg.Collective)
 	inner := cfg.Transport
@@ -152,6 +196,7 @@ func New(cfg Config) (*Engine, error) {
 		jobs:    make([]chan job, cfg.Workers),
 		results: make(chan result, nodes),
 		outs:    make([][]float64, cfg.Workers),
+		scratch: make([]nodeScratch, cfg.Workers),
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		e.jobs[w] = make(chan job)
@@ -205,6 +250,17 @@ func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) err
 			coll = netsim.CollectiveAllGather
 		} else {
 			coll = netsim.CollectiveRing
+		}
+	}
+	// The shared identity index ramp backs zero-copy dense-as-sparse
+	// views; it is grown here, before fan-out, so node goroutines only
+	// ever read it.
+	if coll != netsim.CollectiveRing {
+		for _, in := range ins {
+			if in.Sparse == nil {
+				e.growIdent(len(agg))
+				break
+			}
 		}
 	}
 	for w, in := range ins {
@@ -283,73 +339,167 @@ func (e *Engine) runWorker(w int, jb job) error {
 		return nil
 
 	case netsim.CollectiveAllGather:
-		enc, err := e.encodeLocal(jb)
-		if err != nil {
-			return err
-		}
-		bufs, err := AllGather(e.tp, w, n, enc)
-		if err != nil {
-			return err
-		}
-		// Decode and reduce in worker-index order: with a lossless format
-		// this is the exact operation sequence of dist.InProcess.
-		tensor.Zero(out)
-		for origin := 0; origin < n; origin++ {
-			s, err := encoding.Decode(bufs[origin])
-			if err != nil {
-				return fmt.Errorf("decoding origin %d: %w", origin, err)
-			}
-			if s.Dim != jb.dim {
-				return fmt.Errorf("origin %d has dim %d, want %d", origin, s.Dim, jb.dim)
-			}
-			s.AddTo(out)
-		}
-		tensor.Scale(1/float64(n), out)
-		return nil
+		return e.runAllGather(w, jb, out)
 
 	case netsim.CollectivePS:
-		enc, err := e.encodeLocal(jb)
+		sc := &e.scratch[w]
+		s, err := e.localSparse(jb, sc)
 		if err != nil {
 			return err
 		}
-		reply, err := PSPushPull(e.tp, w, e.server, enc)
+		sc.enc = growSlots(sc.enc, 1)
+		sc.enc[0], err = encoding.EncodeTo(sc.enc[0][:0], s, e.format)
 		if err != nil {
 			return err
 		}
-		s, err := encoding.Decode(reply)
+		reply, err := PSPushPull(e.tp, w, e.server, sc.enc[0])
 		if err != nil {
+			return err
+		}
+		if err := encoding.DecodeInto(&sc.dec, reply); err != nil {
 			return fmt.Errorf("decoding server reply: %w", err)
 		}
-		if s.Dim != jb.dim {
-			return fmt.Errorf("server reply has dim %d, want %d", s.Dim, jb.dim)
+		if sc.dec.Dim != jb.dim {
+			return fmt.Errorf("server reply has dim %d, want %d", sc.dec.Dim, jb.dim)
 		}
 		tensor.Zero(out)
-		s.AddTo(out)
+		sc.dec.AddTo(out)
 		return nil
 	}
 	return fmt.Errorf("unreachable collective")
 }
 
-// encodeLocal serialises a worker's contribution in the configured wire
-// format; dense gradients ship as a full-support sparse vector so even
-// the no-compression baseline moves real encoded bytes.
-func (e *Engine) encodeLocal(jb job) ([]byte, error) {
-	s := jb.sparse
-	if s == nil {
-		if len(jb.dense) != jb.dim {
-			return nil, fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
+// chunkCount resolves the configured chunking (0 or 1: monolithic).
+func (e *Engine) chunkCount() int {
+	if e.cfg.Chunks > 1 {
+		return e.cfg.Chunks
+	}
+	return 1
+}
+
+// runAllGather executes the (optionally chunked) sparse all-gather for
+// one node. The local selection is partitioned by index range into C
+// chunks — each chunk's element budget is exactly what the monolithic
+// selection placed in that range, so the global k-budget is preserved
+// without any per-chunk floor — and every chunk runs one all-gather of
+// encoded payloads. Compression time (CompressSec/C per chunk) and the
+// encode of chunk i+1 happen inside chunk i's pipeline overlap slot.
+//
+// Aggregation stays bit-identical to the monolithic schedule: chunks
+// partition the index space, and within each chunk contributions are
+// decoded and added in worker-index order — for every element the same
+// addition sequence as dist.InProcess over a lossless wire.
+func (e *Engine) runAllGather(w int, jb job, out []float64) error {
+	n := e.cfg.Workers
+	C := e.chunkCount()
+	sc := &e.scratch[w]
+	s, err := e.localSparse(jb, sc)
+	if err != nil {
+		return err
+	}
+	perChunkCompress := 0.0
+	if e.cfg.CompressSec > 0 {
+		perChunkCompress = e.cfg.CompressSec / float64(C)
+	}
+	sc.enc = growSlots(sc.enc, C)
+	if cap(sc.ready) < C {
+		sc.ready = make([]float64, C)
+	}
+	sc.ready = sc.ready[:C]
+
+	// encodeUpTo materialises chunk payloads in ascending order, charging
+	// each chunk's compression slice to the node's compressor lane (which
+	// runs concurrently with the NICs) and recording when each chunk
+	// becomes sendable. It is called from the overlap hook (the pipelined
+	// slot) and is idempotent from the loop head, which keeps single-node
+	// rings — no transport step, so no hook — correct.
+	encoded, pos := 0, 0
+	encodeUpTo := func(c int) error {
+		for ; encoded <= c; encoded++ {
+			sc.ready[encoded] = 0
+			if perChunkCompress > 0 {
+				sc.ready[encoded] = e.tp.ComputeOverlap(w, perChunkCompress)
+			}
+			_, hi := chunkBounds(jb.dim, C, encoded)
+			end := pos
+			for end < len(s.Idx) && int(s.Idx[end]) < hi {
+				end++
+			}
+			sc.view = tensor.Sparse{Dim: jb.dim, Idx: s.Idx[pos:end], Vals: s.Vals[pos:end]}
+			pos = end
+			var err error
+			sc.enc[encoded], err = encoding.EncodeTo(sc.enc[encoded][:0], &sc.view, e.format)
+			if err != nil {
+				return err
+			}
 		}
-		idx := make([]int32, jb.dim)
-		for i := range idx {
-			idx[i] = int32(i)
+		return nil
+	}
+
+	tensor.Zero(out)
+	for c := 0; c < C; c++ {
+		if err := encodeUpTo(c); err != nil {
+			return err
 		}
-		var err error
-		s, err = tensor.NewSparse(jb.dim, idx, jb.dense)
+		// The chunk's own payload cannot leave before its compression
+		// finishes; everything the node merely forwards is not gated.
+		e.tp.WaitFor(w, sc.ready[c])
+		overlap := func() error {
+			if c+1 < C {
+				return encodeUpTo(c + 1)
+			}
+			return nil
+		}
+		sc.gather, err = AllGatherInto(e.tp, w, n, sc.enc[c], sc.gather, overlap)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		// Decode and reduce in worker-index order: with a lossless format
+		// this is the exact operation sequence of dist.InProcess.
+		for origin := 0; origin < n; origin++ {
+			if err := encoding.DecodeInto(&sc.dec, sc.gather[origin]); err != nil {
+				return fmt.Errorf("decoding origin %d chunk %d: %w", origin, c, err)
+			}
+			if sc.dec.Dim != jb.dim {
+				return fmt.Errorf("origin %d has dim %d, want %d", origin, sc.dec.Dim, jb.dim)
+			}
+			sc.dec.AddTo(out)
 		}
 	}
-	return encoding.Encode(s, e.format)
+	tensor.Scale(1/float64(n), out)
+	return nil
+}
+
+// localSparse resolves a worker's contribution to a sparse vector
+// without copying: compressed gradients are used as-is, dense gradients
+// get a full-support view over the shared index ramp, so even the
+// no-compression baseline moves real encoded bytes.
+func (e *Engine) localSparse(jb job, sc *nodeScratch) (*tensor.Sparse, error) {
+	if jb.sparse != nil {
+		return jb.sparse, nil
+	}
+	if len(jb.dense) != jb.dim {
+		return nil, fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
+	}
+	sc.full = tensor.Sparse{Dim: jb.dim, Idx: e.ident[:jb.dim], Vals: jb.dense}
+	return &sc.full, nil
+}
+
+// growIdent extends the shared identity index ramp to at least dim
+// entries. Only Exchange (a single goroutine) may call it; node
+// goroutines treat the ramp as read-only.
+func (e *Engine) growIdent(dim int) {
+	for i := len(e.ident); i < dim; i++ {
+		e.ident = append(e.ident, int32(i))
+	}
+}
+
+// growSlots ensures bufs has at least n reusable byte-buffer slots.
+func growSlots(bufs [][]byte, n int) [][]byte {
+	for len(bufs) < n {
+		bufs = append(bufs, nil)
+	}
+	return bufs
 }
 
 // serverLoop is the goroutine body of the parameter-server node: one
@@ -360,33 +510,39 @@ func (e *Engine) serverLoop() {
 	n := e.cfg.Workers
 	var acc []float64
 	var dim int
+	var dec, agg tensor.Sparse
+	var wire []byte
 	for {
 		combine := func(worker int, payload []byte) error {
-			s, err := encoding.Decode(payload)
-			if err != nil {
+			if err := encoding.DecodeInto(&dec, payload); err != nil {
 				return err
 			}
 			if worker == 0 {
-				dim = s.Dim
+				dim = dec.Dim
 				if len(acc) != dim {
 					acc = make([]float64, dim)
 				}
 				tensor.Zero(acc)
-			} else if s.Dim != dim {
-				return fmt.Errorf("worker %d pushed dim %d, want %d", worker, s.Dim, dim)
+			} else if dec.Dim != dim {
+				return fmt.Errorf("worker %d pushed dim %d, want %d", worker, dec.Dim, dim)
 			}
 			// Worker-index arrival order (PSServe receives 0..n-1) keeps
 			// the sum bit-identical to the in-process reducer.
-			s.AddTo(acc)
+			dec.AddTo(acc)
 			return nil
 		}
 		reply := func() ([]byte, error) {
 			tensor.Scale(1/float64(n), acc)
-			sp, err := sparsify(dim, acc)
+			sparsifyInto(&agg, dim, acc)
+			var err error
+			// The reply buffer is broadcast to every worker and read
+			// within the round, so recycling it across rounds is safe:
+			// Exchange's result barrier ends the round before reuse.
+			wire, err = encoding.EncodeTo(wire[:0], &agg, e.format)
 			if err != nil {
 				return nil, err
 			}
-			return encoding.Encode(sp, e.format)
+			return wire, nil
 		}
 		if err := PSServe(e.tp, e.server, n, combine, reply); err != nil {
 			// A server failure is fatal to the cluster: close the
@@ -402,17 +558,14 @@ func (e *Engine) serverLoop() {
 	}
 }
 
-// sparsify extracts the non-zero support of a dense vector. Exact zeros
-// drop out of the encoding; decoding restores them as zeros, so the
-// round-trip is value-preserving.
-func sparsify(dim int, dense []float64) (*tensor.Sparse, error) {
-	idx := make([]int32, 0, len(dense))
-	vals := make([]float64, 0, len(dense))
+// sparsifyInto extracts the non-zero support of a dense vector into
+// reused sparse storage. Exact zeros drop out of the encoding; decoding
+// restores them as zeros, so the round-trip is value-preserving.
+func sparsifyInto(dst *tensor.Sparse, dim int, dense []float64) {
+	dst.Reset(dim)
 	for i, v := range dense {
 		if v != 0 {
-			idx = append(idx, int32(i))
-			vals = append(vals, v)
+			dst.Append(int32(i), v)
 		}
 	}
-	return tensor.NewSparse(dim, idx, vals)
 }

@@ -7,9 +7,9 @@ import (
 	"testing"
 
 	"repro/internal/compress"
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/encoding"
-	"repro/internal/harness"
 	"repro/internal/netsim"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -27,7 +27,7 @@ func randomInputs(t *testing.T, workers, dim int, delta float64, seed int64) []d
 		}
 		ins[w] = dist.ExchangeInput{Worker: w, Dense: dense}
 		if delta > 0 {
-			s, err := compress.TopK{}.Compress(dense, delta)
+			s, err := compress.NewTopK().Compress(dense, delta)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -247,7 +247,7 @@ func tinyTrainer(t *testing.T, workers int, comp string, delta float64, seed int
 	)
 	var factory func() compress.Compressor
 	if comp != "" {
-		factory = harness.Factory(comp, seed)
+		factory = func() compress.Compressor { return registryCompressor(comp, seed) }
 	}
 	tr, err := dist.NewTrainer(dist.TrainerConfig{
 		Workers: workers,
@@ -292,7 +292,7 @@ func TestTrainerOverChannelTransportBitIdentical(t *testing.T) {
 		}
 		return losses, nn.FlattenWeights(tr.Params(), nil)
 	}
-	for _, comp := range harness.CompressorNames {
+	for _, comp := range registryNames {
 		for _, coll := range []netsim.Collective{netsim.CollectiveAllGather, netsim.CollectivePS} {
 			t.Run(fmt.Sprintf("%s-%v", comp, coll), func(t *testing.T) {
 				e, err := New(Config{Workers: workers, Collective: coll, Verify: true})
@@ -346,10 +346,8 @@ func TestTrainerDenseRingConverges(t *testing.T) {
 
 func TestSparsifyKeepsExactSupport(t *testing.T) {
 	dense := []float64{0, 1.5, 0, -2, 0, 1e-300}
-	s, err := sparsify(len(dense), dense)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := &tensor.Sparse{}
+	sparsifyInto(s, len(dense), dense)
 	if s.NNZ() != 3 {
 		t.Fatalf("nnz = %d, want 3", s.NNZ())
 	}
@@ -362,5 +360,221 @@ func TestSparsifyKeepsExactSupport(t *testing.T) {
 	}
 	if _, err := tensor.NewSparse(3, []int32{0, 1, 2}, []float64{1, 2, 3}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// registryNames mirrors harness.CompressorNames; the cluster tests keep
+// their own copy because harness now depends on this package (the chunk
+// study), and a test-only import back into harness would be a cycle.
+var registryNames = []string{"topk", "dgc", "redsync", "gaussiank", "sidco-e", "sidco-gp", "sidco-p"}
+
+// registryCompressor mirrors harness.NewCompressor for the names above.
+func registryCompressor(name string, seed int64) compress.Compressor {
+	switch name {
+	case "topk":
+		return compress.NewTopK()
+	case "dgc":
+		return compress.NewDGC(seed)
+	case "redsync":
+		return compress.NewRedSync()
+	case "gaussiank":
+		return compress.NewGaussianKSGD()
+	case "sidco-e":
+		return core.NewE()
+	case "sidco-gp":
+		return core.NewGammaGP()
+	case "sidco-p":
+		return core.NewGP()
+	default:
+		panic("unknown registry compressor " + name)
+	}
+}
+
+// TestChunkedMatchesMonolithicProperty is the chunked-mode property
+// test: over random gradients, the chunked all-gather aggregate must be
+// bit-identical to the monolithic one for the deterministic compressors
+// (topk) and for seeded DGC — the chunk split partitions the already-
+// selected support, so no compressor randomness can diverge between the
+// two schedules.
+func TestChunkedMatchesMonolithicProperty(t *testing.T) {
+	const workers = 4
+	for trial := 0; trial < 8; trial++ {
+		dim := 200 + 157*trial // non-power-of-two dims exercise uneven chunk bounds
+		delta := []float64{0.01, 0.05, 0.2}[trial%3]
+		for _, compName := range []string{"topk", "dgc"} {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			ins := make([]dist.ExchangeInput, workers)
+			for w := range ins {
+				dense := make([]float64, dim)
+				for i := range dense {
+					dense[i] = rng.NormFloat64()
+				}
+				// One compressor per worker, seeded per (trial, worker):
+				// DGC consumes randomness, so both schedules must see the
+				// same pre-computed selection.
+				s, err := registryCompressor(compName, int64(trial*10+w)).Compress(dense, delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ins[w] = dist.ExchangeInput{Worker: w, Dense: dense, Sparse: s}
+			}
+			mono, e1 := engineExchange(t, Config{Workers: workers, Collective: netsim.CollectiveAllGather}, ins, dim)
+			e1.Close()
+			for _, chunks := range []int{2, 3, 8, 64} {
+				got, e := engineExchange(t, Config{
+					Workers: workers, Collective: netsim.CollectiveAllGather, Chunks: chunks, Verify: true,
+				}, ins, dim)
+				e.Close()
+				for i := range mono {
+					if got[i] != mono[i] {
+						t.Fatalf("%s trial %d chunks %d: element %d = %v, want %v (bit-identity broken)",
+							compName, trial, chunks, i, got[i], mono[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChunkedTrafficMatchesAccounting pins the chunked traffic contract:
+// C*(N-1) messages per node, and total bytes equal to the per-chunk
+// encoded sizes of every worker's partitioned selection, each forwarded
+// N-1 times. Empty chunks still ship a header-only payload.
+func TestChunkedTrafficMatchesAccounting(t *testing.T) {
+	const dim, workers, chunks = 400, 4, 8
+	ins := randomInputs(t, workers, dim, 0.05, 17)
+	_, e := engineExchange(t, Config{
+		Workers: workers, Collective: netsim.CollectiveAllGather, Chunks: chunks,
+	}, ins, dim)
+	defer e.Close()
+	msgs, bytes := e.Transport().Totals()
+	if want := workers * netsim.ChunkedAllGatherMessages(workers, chunks); msgs != want {
+		t.Errorf("%d messages, want %d", msgs, want)
+	}
+	wantBytes := 0
+	for _, in := range ins {
+		for _, n := range ChunkNNZ(in.Sparse.Idx, dim, chunks) {
+			wantBytes += (workers - 1) * encoding.Pairs64Size(dim, n)
+		}
+	}
+	if bytes != wantBytes {
+		t.Errorf("%d bytes, want %d", bytes, wantBytes)
+	}
+}
+
+// TestChunkedTrainerBitIdentical trains through a chunked engine and
+// requires the loss trajectory bit-identical to the in-process reducer —
+// the end-to-end form of the chunked safety net, including error
+// feedback feeding selections back across iterations.
+func TestChunkedTrainerBitIdentical(t *testing.T) {
+	const workers, iters = 3, 4
+	ref := tinyTrainer(t, workers, "sidco-e", 0.1, 11, nil)
+	want, _, err := ref.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Workers: workers, Collective: netsim.CollectiveAllGather, Chunks: 4, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tr := tinyTrainer(t, workers, "sidco-e", 0.1, 11, e)
+	got, _, err := tr.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("loss[%d] = %v, want %v (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChunkedOverlapHidesCompression pins the virtual-clock win the
+// chunked mode exists for: with compression charged per exchange, the
+// pipelined chunked schedule must finish strictly earlier than the
+// monolithic one, both homogeneously and under a straggler.
+func TestChunkedOverlapHidesCompression(t *testing.T) {
+	const dim, workers = 1 << 14, 4
+	ins := randomInputs(t, workers, dim, 0.05, 23)
+	net := netsim.Network{Workers: workers, BandwidthBps: 1e9, LatencySec: 20e-6}
+	measure := func(chunks int, straggler float64) float64 {
+		scen := ScenarioFromNetwork(net)
+		if straggler > 1 {
+			scen.StragglerFactor = map[int]float64{workers - 1: straggler}
+		}
+		e, err := New(Config{
+			Workers:     workers,
+			Collective:  netsim.CollectiveAllGather,
+			Scenario:    scen,
+			Chunks:      chunks,
+			CompressSec: 2e-3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		if err := e.Exchange(0, ins, make([]float64, dim)); err != nil {
+			t.Fatal(err)
+		}
+		return e.Transport().Elapsed()
+	}
+	for _, straggler := range []float64{1, 8} {
+		mono := measure(1, straggler)
+		chunked := measure(4, straggler)
+		if chunked >= mono {
+			t.Errorf("straggler x%g: chunked %v not faster than monolithic %v", straggler, chunked, mono)
+		}
+	}
+}
+
+// TestChunkedConfigValidation covers the chunked-mode constraints.
+func TestChunkedConfigValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 2, Chunks: -1, Collective: netsim.CollectiveAllGather}); err == nil {
+		t.Error("negative chunks should error")
+	}
+	if _, err := New(Config{Workers: 2, Chunks: 4, Collective: netsim.CollectiveRing}); err == nil {
+		t.Error("chunked ring should error")
+	}
+	if _, err := New(Config{Workers: 2, Chunks: 4, Collective: netsim.CollectivePS}); err == nil {
+		t.Error("chunked PS should error")
+	}
+	if _, err := New(Config{Workers: 2, CompressSec: -1}); err == nil {
+		t.Error("negative CompressSec should error")
+	}
+	// Chunks may exceed the element count: surplus chunks ship empty
+	// payloads and the result is still exact.
+	ins := randomInputs(t, 2, 16, 0.1, 3)
+	want := make([]float64, 16)
+	if err := (dist.InProcess{}).Exchange(0, ins, want); err != nil {
+		t.Fatal(err)
+	}
+	got, e := engineExchange(t, Config{
+		Workers: 2, Collective: netsim.CollectiveAllGather, Chunks: 32, Verify: true,
+	}, ins, 16)
+	defer e.Close()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunks > dim: element %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChunkedSingleWorker covers the degenerate one-node ring, where the
+// overlap hook never fires and chunks must still encode lazily.
+func TestChunkedSingleWorker(t *testing.T) {
+	ins := randomInputs(t, 1, 64, 0.2, 9)
+	want := make([]float64, 64)
+	if err := (dist.InProcess{}).Exchange(0, ins, want); err != nil {
+		t.Fatal(err)
+	}
+	got, e := engineExchange(t, Config{
+		Workers: 1, Collective: netsim.CollectiveAllGather, Chunks: 4,
+	}, ins, 64)
+	defer e.Close()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+		}
 	}
 }

@@ -80,6 +80,7 @@ type Instrumented struct {
 	clock      []float64 // per-node logical progress time
 	txBusy     []float64 // per-node send-NIC busy-until
 	rxBusy     []float64 // per-node receive-NIC busy-until
+	pipeBusy   []float64 // per-node compressor-lane busy-until
 	stamps     map[Link][]float64
 }
 
@@ -88,13 +89,14 @@ type Instrumented struct {
 func NewInstrumented(inner Transport, scen *Scenario) *Instrumented {
 	n := inner.Nodes()
 	return &Instrumented{
-		inner:  inner,
-		scen:   scen,
-		stats:  make(map[Link]*LinkStats),
-		clock:  make([]float64, n),
-		txBusy: make([]float64, n),
-		rxBusy: make([]float64, n),
-		stamps: make(map[Link][]float64),
+		inner:    inner,
+		scen:     scen,
+		stats:    make(map[Link]*LinkStats),
+		clock:    make([]float64, n),
+		txBusy:   make([]float64, n),
+		rxBusy:   make([]float64, n),
+		pipeBusy: make([]float64, n),
+		stamps:   make(map[Link][]float64),
 	}
 }
 
@@ -162,12 +164,55 @@ func (t *Instrumented) Compute(node int, seconds float64) {
 	if t.scen == nil || node < 0 || node >= len(t.clock) {
 		return
 	}
-	factor := 1.0
+	t.mu.Lock()
+	t.clock[node] += seconds * t.straggler(node)
+	t.mu.Unlock()
+}
+
+// straggler returns the node's compute slowdown factor. Callers hold mu
+// or read immutable scenario state.
+func (t *Instrumented) straggler(node int) float64 {
 	if f, ok := t.scen.StragglerFactor[node]; ok && f > 0 {
-		factor = f
+		return f
+	}
+	return 1
+}
+
+// ComputeOverlap charges seconds of work (straggler-scaled) to a node's
+// compressor lane and returns the lane's completion time. The lane runs
+// concurrently with the node's NICs: unlike Compute it does not advance
+// the node clock, so in-flight transfers the node is forwarding are not
+// stalled. A send that depends on the charged work (the chunk the
+// compressor just produced) is gated explicitly with WaitFor — together
+// they model the chunked pipeline, where compressing chunk i+1 hides
+// behind chunk i's in-flight collective.
+func (t *Instrumented) ComputeOverlap(node int, seconds float64) float64 {
+	if t.scen == nil || node < 0 || node >= len(t.clock) {
+		return 0
 	}
 	t.mu.Lock()
-	t.clock[node] += seconds * factor
+	defer t.mu.Unlock()
+	start := t.pipeBusy[node]
+	if t.clock[node] > start {
+		// The lane cannot start before the node has produced the work's
+		// input (forward/backward charged through Compute).
+		start = t.clock[node]
+	}
+	t.pipeBusy[node] = start + seconds*t.straggler(node)
+	return t.pipeBusy[node]
+}
+
+// WaitFor stalls a node's clock until the given virtual time, typically
+// a completion time returned by ComputeOverlap: the point where a
+// dependent send becomes ready.
+func (t *Instrumented) WaitFor(node int, ts float64) {
+	if t.scen == nil || node < 0 || node >= len(t.clock) {
+		return
+	}
+	t.mu.Lock()
+	if ts > t.clock[node] {
+		t.clock[node] = ts
+	}
 	t.mu.Unlock()
 }
 
@@ -220,7 +265,7 @@ func (t *Instrumented) Reset() {
 	t.stats = make(map[Link]*LinkStats)
 	t.totalMsgs, t.totalBytes = 0, 0
 	for i := range t.clock {
-		t.clock[i], t.txBusy[i], t.rxBusy[i] = 0, 0, 0
+		t.clock[i], t.txBusy[i], t.rxBusy[i], t.pipeBusy[i] = 0, 0, 0, 0
 	}
 	t.stamps = make(map[Link][]float64)
 }

@@ -18,6 +18,13 @@ import (
 
 // Compressor selects a sparse subset of a gradient vector targeting a
 // compression ratio delta = k/d.
+//
+// CompressInto is the streaming fast path: the selection lands in
+// caller-owned storage, and every in-repo compressor keeps per-instance
+// scratch (fit buffers, sample buffers, radix-select histograms) so
+// steady-state iterations are allocation-free. Compress remains the
+// convenient allocating form; pre-pipeline implementations that only
+// have Compress are lifted via Adapt.
 type Compressor interface {
 	// Name returns a short identifier used in reports ("topk", "dgc", ...).
 	Name() string
@@ -25,6 +32,52 @@ type Compressor interface {
 	// sparse vector has ascending unique indices. Implementations must not
 	// modify g.
 	Compress(g []float64, delta float64) (*tensor.Sparse, error)
+	// CompressInto sparsifies g into dst, resetting dst first and reusing
+	// its storage. dst is left untouched on error. Implementations must
+	// not modify g and must not retain dst or alias internal scratch into
+	// it — the caller owns dst between calls.
+	CompressInto(dst *tensor.Sparse, g []float64, delta float64) error
+}
+
+// Legacy is the pre-pipeline compressor contract: Compress only. Adapt
+// lifts a Legacy implementation into the full Compressor interface.
+type Legacy interface {
+	Name() string
+	Compress(g []float64, delta float64) (*tensor.Sparse, error)
+}
+
+// Adapt wraps a Legacy compressor so it satisfies Compressor: the
+// CompressInto fast path falls back to Compress plus a copy into dst. If
+// c already implements Compressor it is returned unchanged.
+func Adapt(c Legacy) Compressor {
+	if full, ok := c.(Compressor); ok {
+		return full
+	}
+	return adapted{c}
+}
+
+type adapted struct{ Legacy }
+
+// CompressInto implements Compressor by allocating through the wrapped
+// Compress and copying — correct but not allocation-free.
+func (a adapted) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
+	s, err := a.Legacy.Compress(g, delta)
+	if err != nil {
+		return err
+	}
+	dst.CopyFrom(s)
+	return nil
+}
+
+// FreshCompress implements the allocating Compress in terms of a
+// CompressInto fast path: every concrete compressor's Compress is this
+// one-liner, so the two entry points cannot drift.
+func FreshCompress(c Compressor, g []float64, delta float64) (*tensor.Sparse, error) {
+	dst := &tensor.Sparse{}
+	if err := c.CompressInto(dst, g, delta); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // TargetK converts a compression ratio to an element count: k =
@@ -41,6 +94,54 @@ func TargetK(d int, delta float64) int {
 		k = d
 	}
 	return k
+}
+
+// TargetKChunks allocates the global budget k = TargetK(d, delta) across
+// the standard balanced chunking of d elements into the given number of
+// chunks (chunk c covers [c*d/n, (c+1)*d/n)). Budgets are proportional to
+// chunk sizes with largest-remainder rounding, so they always sum to
+// exactly k and a tiny chunk can legitimately receive 0 — unlike calling
+// TargetK per chunk, whose k >= 1 floor would inflate the total. Ties in
+// the remainders break toward lower chunk indices.
+func TargetKChunks(d int, delta float64, chunks int) []int {
+	if chunks < 1 {
+		chunks = 1
+	}
+	out := make([]int, chunks)
+	if d == 0 {
+		return out
+	}
+	k := TargetK(d, delta)
+	assigned := 0
+	type rem struct {
+		frac  float64
+		chunk int
+	}
+	rems := make([]rem, chunks)
+	for c := range out {
+		lo, hi := c*d/chunks, (c+1)*d/chunks
+		exact := float64(k) * float64(hi-lo) / float64(d)
+		out[c] = int(math.Floor(exact))
+		assigned += out[c]
+		rems[c] = rem{frac: exact - math.Floor(exact), chunk: c}
+	}
+	// Hand the leftover k - assigned units to the largest remainders,
+	// lower chunk index first on ties (stable selection sort over the
+	// short chunk list keeps this dependency-free and deterministic).
+	for left := k - assigned; left > 0; left-- {
+		best := -1
+		for i := range rems {
+			if rems[i].chunk < 0 {
+				continue
+			}
+			if best < 0 || rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		out[rems[best].chunk]++
+		rems[best].chunk = -1
+	}
+	return out
 }
 
 func validate(g []float64, delta float64) error {
@@ -61,35 +162,51 @@ func (None) Name() string { return "none" }
 
 // Compress implements Compressor; delta is ignored and the whole vector is
 // kept.
-func (None) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+func (n None) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return FreshCompress(n, g, delta)
+}
+
+// CompressInto implements Compressor.
+func (None) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if len(g) == 0 {
-		return nil, fmt.Errorf("compress: empty gradient")
+		return fmt.Errorf("compress: empty gradient")
 	}
-	idx := make([]int32, len(g))
-	vals := make([]float64, len(g))
+	dst.Reset(len(g))
+	dst.Grow(len(g))
 	for i, gi := range g {
-		idx[i] = int32(i)
-		vals[i] = gi
+		dst.Append(int32(i), gi)
 	}
-	return tensor.NewSparse(len(g), idx, vals)
+	return nil
 }
 
 // TopK is the exact Top-k sparsifier T_k: it keeps the k = delta*d
 // elements with the largest magnitude. It is the accuracy gold standard
-// and the computational worst case of the study.
-type TopK struct{}
+// and the computational worst case of the study. Each instance owns its
+// radix-select scratch; create one per worker with NewTopK.
+type TopK struct {
+	sel tensor.Selector
+}
+
+// NewTopK creates a Top-k compressor with its own selection scratch.
+func NewTopK() *TopK { return &TopK{} }
 
 // Name implements Compressor.
-func (TopK) Name() string { return "topk" }
+func (*TopK) Name() string { return "topk" }
 
 // Compress implements Compressor.
-func (TopK) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+func (t *TopK) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return FreshCompress(t, g, delta)
+}
+
+// CompressInto implements Compressor.
+func (t *TopK) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
-		return nil, err
+		return err
 	}
 	k := TargetK(len(g), delta)
-	idx, vals := tensor.TopKSelect(g, k)
-	return tensor.NewSparse(len(g), idx, vals)
+	dst.Reset(len(g))
+	t.sel.TopKInto(dst, g, k)
+	return nil
 }
 
 // Threshold keeps every element with |g_i| >= Eta, regardless of delta —
@@ -104,9 +221,15 @@ func (Threshold) Name() string { return "threshold" }
 
 // Compress implements Compressor; delta is ignored.
 func (t Threshold) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return FreshCompress(t, g, delta)
+}
+
+// CompressInto implements Compressor; delta is ignored.
+func (t Threshold) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if len(g) == 0 {
-		return nil, fmt.Errorf("compress: empty gradient")
+		return fmt.Errorf("compress: empty gradient")
 	}
-	idx, vals := tensor.FilterAboveThreshold(g, t.Eta, nil, nil)
-	return tensor.NewSparse(len(g), idx, vals)
+	dst.Reset(len(g))
+	dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, t.Eta, dst.Idx, dst.Vals)
+	return nil
 }

@@ -44,7 +44,7 @@ func TestTargetK(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	comps := []Compressor{TopK{}, NewDGC(1), NewRedSync(), NewGaussianKSGD(), NewRandomK(1, false)}
+	comps := []Compressor{NewTopK(), NewDGC(1), NewRedSync(), NewGaussianKSGD(), NewRandomK(1, false)}
 	for _, c := range comps {
 		if _, err := c.Compress(nil, 0.1); err == nil {
 			t.Errorf("%s: empty gradient should error", c.Name())
@@ -80,7 +80,7 @@ func TestNoneKeepsEverything(t *testing.T) {
 func TestTopKExactCount(t *testing.T) {
 	g := laplaceVec(10000, 0.01, 1)
 	for _, delta := range []float64{0.1, 0.01, 0.001} {
-		s, err := TopK{}.Compress(g, delta)
+		s, err := NewTopK().Compress(g, delta)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func TestTopKExactCount(t *testing.T) {
 
 func TestTopKKeepsLargest(t *testing.T) {
 	g := []float64{0.1, -5, 0.2, 4, -0.3}
-	s, err := TopK{}.Compress(g, 0.4) // k = 2
+	s, err := NewTopK().Compress(g, 0.4) // k = 2
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestTopKKeepsLargest(t *testing.T) {
 func TestTopKDoesNotModifyInput(t *testing.T) {
 	g := laplaceVec(1000, 1, 2)
 	orig := tensor.Clone(g)
-	if _, err := (TopK{}).Compress(g, 0.01); err != nil {
+	if _, err := NewTopK().Compress(g, 0.01); err != nil {
 		t.Fatal(err)
 	}
 	for i := range g {
@@ -337,7 +337,7 @@ func TestGaussianKSGDFactorClamped(t *testing.T) {
 }
 
 func TestAllCompressorsProduceValidSparse(t *testing.T) {
-	comps := []Compressor{TopK{}, NewDGC(21), NewRedSync(), NewGaussianKSGD(), NewRandomK(22, false), None{}}
+	comps := []Compressor{NewTopK(), NewDGC(21), NewRedSync(), NewGaussianKSGD(), NewRandomK(22, false), None{}}
 	f := func(seedRaw int64, deltaRaw float64) bool {
 		delta := 0.001 + math.Mod(math.Abs(deltaRaw), 0.999)
 		g := laplaceVec(2000, 0.1, seedRaw)
@@ -359,5 +359,150 @@ func TestAllCompressorsProduceValidSparse(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTargetKChunks is the table-driven guard on the chunk-budget
+// helper, with the rounding-to-zero edge front and center: tiny chunks
+// must be allowed a 0 budget, and the budgets must always sum to the
+// global TargetK — never to the inflated sum a per-chunk TargetK (with
+// its k >= 1 floor) would produce.
+func TestTargetKChunks(t *testing.T) {
+	cases := []struct {
+		name   string
+		d      int
+		delta  float64
+		chunks int
+		want   []int
+	}{
+		{"even split", 100, 0.1, 2, []int{5, 5}},
+		{"single chunk", 100, 0.1, 1, []int{10}},
+		// Global k = 1 and eight chunks: seven chunks legitimately get 0
+		// (a per-chunk TargetK would hand out eight 1s); the single unit
+		// goes to the largest remainder, i.e. the first 2-element range.
+		{"k rounds to zero on tiny chunks", 10, 0.1, 8,
+			[]int{0, 0, 0, 1, 0, 0, 0, 0}},
+		{"more chunks than elements", 3, 0.5, 6, // chunks 0,2,4 are empty ranges
+			[]int{0, 1, 0, 1, 0, 0}},
+		{"uneven ranges get proportional budgets", 10, 0.5, 3, // ranges 3,3,4
+			[]int{2, 1, 2}},
+		{"full keep", 7, 1, 3, []int{2, 2, 3}},
+		{"zero dim", 0, 0.5, 4, []int{0, 0, 0, 0}},
+		{"chunks clamped to one", 12, 0.25, 0, []int{3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := TargetKChunks(tc.d, tc.delta, tc.chunks)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			sum := 0
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+				sum += got[i]
+			}
+			if tc.d > 0 {
+				if k := TargetK(tc.d, tc.delta); sum != k {
+					t.Errorf("budgets sum to %d, want global k = %d", sum, k)
+				}
+			}
+			// Each budget must fit its chunk range.
+			for c, kc := range got {
+				lo, hi := c*tc.d/len(got), (c+1)*tc.d/len(got)
+				if kc > hi-lo {
+					t.Errorf("chunk %d budget %d exceeds range size %d", c, kc, hi-lo)
+				}
+			}
+		})
+	}
+}
+
+// legacyOnly is a Compress-only implementation for exercising Adapt.
+type legacyOnly struct{}
+
+func (legacyOnly) Name() string { return "legacy" }
+func (legacyOnly) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return NewTopK().Compress(g, delta)
+}
+
+// TestAdaptLiftsLegacyCompressor checks the adapter both ways: a
+// Compress-only implementation gains a working CompressInto, and a full
+// Compressor passes through unwrapped.
+func TestAdaptLiftsLegacyCompressor(t *testing.T) {
+	g := []float64{3, -1, 0.5, -4, 2, 0.1, -0.2, 5}
+	adapted := Adapt(legacyOnly{})
+	if adapted.Name() != "legacy" {
+		t.Errorf("name = %q", adapted.Name())
+	}
+	want, err := adapted.Compress(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := &tensor.Sparse{Dim: 3, Idx: []int32{0}, Vals: []float64{9}} // dirty
+	if err := adapted.CompressInto(dst, g, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Dim != want.Dim || dst.NNZ() != want.NNZ() {
+		t.Fatalf("adapted CompressInto shape (%d,%d), want (%d,%d)", dst.Dim, dst.NNZ(), want.Dim, want.NNZ())
+	}
+	for i := range want.Idx {
+		if dst.Idx[i] != want.Idx[i] || dst.Vals[i] != want.Vals[i] {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+	full := NewTopK()
+	if Adapt(full) != Compressor(full) {
+		t.Error("Adapt should pass a full Compressor through unchanged")
+	}
+}
+
+// TestCompressIntoMatchesCompress cross-checks the two interface entry
+// points elementwise for every compressor in this package: same
+// selection, same values, regardless of dirty destination state.
+// Stateful and randomized compressors get twin instances so both paths
+// see identical internal state and random streams.
+func TestCompressIntoMatchesCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := make([]float64, 4096)
+	for i := range g {
+		g[i] = rng.NormFloat64() * rng.ExpFloat64()
+	}
+	pairs := []struct {
+		name string
+		a, b Compressor
+	}{
+		{"none", None{}, None{}},
+		{"topk", NewTopK(), NewTopK()},
+		{"threshold", Threshold{Eta: 0.8}, Threshold{Eta: 0.8}},
+		{"dgc", NewDGC(5), NewDGC(5)},
+		{"redsync", NewRedSync(), NewRedSync()},
+		{"gaussiank", NewGaussianKSGD(), NewGaussianKSGD()},
+		{"randomk", NewRandomK(5, true), NewRandomK(5, true)},
+		{"ec-topk", NewErrorFeedback(NewTopK()), NewErrorFeedback(NewTopK())},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			dst := &tensor.Sparse{Dim: 1, Idx: []int32{0}, Vals: []float64{123}}
+			for iter := 0; iter < 3; iter++ { // stateful paths must track across calls
+				want, err := p.a.Compress(g, 0.01)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.b.CompressInto(dst, g, 0.01); err != nil {
+					t.Fatal(err)
+				}
+				if dst.Dim != want.Dim || dst.NNZ() != want.NNZ() {
+					t.Fatalf("iter %d: shape (%d,%d), want (%d,%d)", iter, dst.Dim, dst.NNZ(), want.Dim, want.NNZ())
+				}
+				for i := range want.Idx {
+					if dst.Idx[i] != want.Idx[i] || dst.Vals[i] != want.Vals[i] {
+						t.Fatalf("iter %d element %d: (%d,%v) want (%d,%v)",
+							iter, i, dst.Idx[i], dst.Vals[i], want.Idx[i], want.Vals[i])
+					}
+				}
+			}
+		})
 	}
 }

@@ -24,6 +24,12 @@ type DGC struct {
 	// MinSample floors the sample size so tiny layers still estimate a
 	// usable threshold.
 	MinSample int
+
+	// Per-instance scratch of the streaming fast path.
+	sample  []float64
+	sel     tensor.Selector
+	fit     tensor.Sparse // exceedance gather before the hierarchical trim
+	trimmed tensor.Sparse // Top-k over the exceedance values
 }
 
 // NewDGC creates a DGC compressor with the paper's defaults (1% sample,
@@ -37,8 +43,13 @@ func (*DGC) Name() string { return "dgc" }
 
 // Compress implements Compressor.
 func (c *DGC) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return FreshCompress(c, g, delta)
+}
+
+// CompressInto implements Compressor.
+func (c *DGC) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
-		return nil, err
+		return err
 	}
 	d := len(g)
 	k := TargetK(d, delta)
@@ -51,7 +62,10 @@ func (c *DGC) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 	if s > d {
 		s = d
 	}
-	sample := make([]float64, s)
+	if cap(c.sample) < s {
+		c.sample = make([]float64, s)
+	}
+	sample := c.sample[:s]
 	for i := range sample {
 		sample[i] = math.Abs(g[c.rng.Intn(d)])
 	}
@@ -61,18 +75,25 @@ func (c *DGC) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 	eta := tensor.QuickSelectKth(sample, ks)
 
 	// Stage 2: gather exceedances from the full vector.
-	idx, vals := tensor.FilterAboveThreshold(g, eta, nil, nil)
+	fit := &c.fit
+	fit.Reset(d)
+	fit.Idx, fit.Vals = tensor.FilterAboveThreshold(g, eta, fit.Idx, fit.Vals)
 
 	// Hierarchical trim: if the threshold under-shot and selected more
 	// than the target, a second exact Top-k over the (much smaller)
-	// exceedance set restores |selection| == k.
-	if len(idx) > k {
-		subIdx, subVals := tensor.TopKSelect(vals, k)
-		trimmedIdx := make([]int32, k)
-		for i, j := range subIdx {
-			trimmedIdx[i] = idx[j]
+	// exceedance set restores |selection| == k. The inner selection runs
+	// over the exceedance values, so its indices are positions in fit
+	// that map back to gradient indices.
+	dst.Reset(d)
+	if fit.NNZ() > k {
+		c.trimmed.Reset(fit.NNZ())
+		c.sel.TopKInto(&c.trimmed, fit.Vals, k)
+		dst.Grow(k)
+		for i, j := range c.trimmed.Idx {
+			dst.Append(fit.Idx[j], c.trimmed.Vals[i])
 		}
-		idx, vals = trimmedIdx, subVals
+	} else {
+		dst.CopyFrom(fit)
 	}
-	return tensor.NewSparse(d, idx, vals)
+	return nil
 }

@@ -31,30 +31,36 @@ func (e *ErrorFeedback) Name() string { return e.Inner.Name() + "+ec" }
 // uncompressed remainder back into the residual. The input g is not
 // modified.
 func (e *ErrorFeedback) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return FreshCompress(e, g, delta)
+}
+
+// CompressInto implements Compressor, delegating the selection to the
+// wrapped compressor's fast path. The residual bookkeeping itself is
+// allocation-free after the first call.
+func (e *ErrorFeedback) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	d := len(g)
 	if e.residual == nil {
 		e.residual = make([]float64, d)
 		e.buf = make([]float64, d)
 	}
 	if len(e.residual) != d {
-		return nil, fmt.Errorf("compress: EC residual dimension changed from %d to %d", len(e.residual), d)
+		return fmt.Errorf("compress: EC residual dimension changed from %d to %d", len(e.residual), d)
 	}
 
 	corrected := e.buf
 	copy(corrected, g)
 	tensor.Add(e.residual, corrected)
 
-	s, err := e.Inner.Compress(corrected, delta)
-	if err != nil {
-		return nil, err
+	if err := e.Inner.CompressInto(dst, corrected, delta); err != nil {
+		return err
 	}
 
-	// residual = corrected - scatter(s)
+	// residual = corrected - scatter(selection)
 	copy(e.residual, corrected)
-	for i, j := range s.Idx {
-		e.residual[j] -= s.Vals[i]
+	for i, j := range dst.Idx {
+		e.residual[j] -= dst.Vals[i]
 	}
-	return s, nil
+	return nil
 }
 
 // Residual exposes the current residual for tests and fitting studies

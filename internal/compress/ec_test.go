@@ -11,7 +11,7 @@ func TestErrorFeedbackConservesMass(t *testing.T) {
 	// Invariant: after every step, residual + transmitted == sum of all
 	// corrected gradients so far; equivalently, per step,
 	// corrected = transmitted + residual.
-	ec := NewErrorFeedback(TopK{})
+	ec := NewErrorFeedback(NewTopK())
 	g := laplaceVec(5000, 0.01, 30)
 	prevResidual := make([]float64, len(g))
 	for step := 0; step < 10; step++ {
@@ -40,7 +40,7 @@ func TestErrorFeedbackEventuallyTransmitsEverything(t *testing.T) {
 	for i := range g {
 		g[i] = 1.0 / float64(i+1) // strictly decreasing magnitudes
 	}
-	ec := NewErrorFeedback(TopK{})
+	ec := NewErrorFeedback(NewTopK())
 	transmitted := make([]bool, d)
 	for step := 0; step < 200; step++ {
 		s, err := ec.Compress(g, 0.05) // k = 5
@@ -64,7 +64,7 @@ func TestErrorFeedbackResidualShrinksAggregate(t *testing.T) {
 	// drops the tail.
 	d := 1000
 	g := laplaceVec(d, 0.01, 31)
-	ec := NewErrorFeedback(TopK{})
+	ec := NewErrorFeedback(NewTopK())
 	acc := make([]float64, d)
 	accPlain := make([]float64, d)
 	const steps = 400
@@ -74,7 +74,7 @@ func TestErrorFeedbackResidualShrinksAggregate(t *testing.T) {
 			t.Fatal(err)
 		}
 		s.AddTo(acc)
-		sp, err := (TopK{}).Compress(g, 0.01)
+		sp, err := NewTopK().Compress(g, 0.01)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +98,7 @@ func TestErrorFeedbackResidualShrinksAggregate(t *testing.T) {
 }
 
 func TestErrorFeedbackDimensionChangeErrors(t *testing.T) {
-	ec := NewErrorFeedback(TopK{})
+	ec := NewErrorFeedback(NewTopK())
 	if _, err := ec.Compress(make([]float64, 10), 0.5); err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestErrorFeedbackDimensionChangeErrors(t *testing.T) {
 }
 
 func TestErrorFeedbackReset(t *testing.T) {
-	ec := NewErrorFeedback(TopK{})
+	ec := NewErrorFeedback(NewTopK())
 	g := laplaceVec(100, 1, 32)
 	if _, err := ec.Compress(g, 0.1); err != nil {
 		t.Fatal(err)
@@ -122,13 +122,13 @@ func TestErrorFeedbackReset(t *testing.T) {
 }
 
 func TestErrorFeedbackName(t *testing.T) {
-	if got := NewErrorFeedback(TopK{}).Name(); got != "topk+ec" {
+	if got := NewErrorFeedback(NewTopK()).Name(); got != "topk+ec" {
 		t.Errorf("Name = %q", got)
 	}
 }
 
 func TestErrorFeedbackDoesNotModifyInput(t *testing.T) {
-	ec := NewErrorFeedback(TopK{})
+	ec := NewErrorFeedback(NewTopK())
 	g := laplaceVec(500, 1, 33)
 	orig := tensor.Clone(g)
 	for i := 0; i < 5; i++ {

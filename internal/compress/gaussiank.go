@@ -46,8 +46,13 @@ func (*GaussianKSGD) Name() string { return "gaussiank" }
 // factor across iterations, mirroring the stateful heuristic of the
 // original method.
 func (c *GaussianKSGD) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return FreshCompress(c, g, delta)
+}
+
+// CompressInto implements Compressor.
+func (c *GaussianKSGD) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
-		return nil, err
+		return err
 	}
 	if c.factor == 0 {
 		c.factor = 1
@@ -62,8 +67,9 @@ func (c *GaussianKSGD) Compress(g []float64, delta float64) (*tensor.Sparse, err
 	}
 	eta := base * c.factor
 
-	idx, vals := tensor.FilterAboveThreshold(g, eta, nil, nil)
-	nnz := len(idx)
+	dst.Reset(d)
+	dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, eta, dst.Idx, dst.Vals)
+	nnz := dst.NNZ()
 
 	// Iterative adjustment for the next call.
 	switch {
@@ -79,8 +85,7 @@ func (c *GaussianKSGD) Compress(g []float64, delta float64) (*tensor.Sparse, err
 	if c.factor > maxFactor {
 		c.factor = maxFactor
 	}
-
-	return tensor.NewSparse(d, idx, vals)
+	return nil
 }
 
 // Factor exposes the current correction factor for tests and diagnostics.

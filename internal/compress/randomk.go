@@ -2,7 +2,7 @@ package compress
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/tensor"
 )
@@ -16,6 +16,12 @@ type RandomK struct {
 	// Unbiased controls the 1/delta scaling; the paper's comparisons use
 	// the unscaled variant, so the default is false.
 	Unbiased bool
+
+	// Per-instance sampling scratch: the chosen-index list, the rejection
+	// set and the partial Fisher–Yates permutation.
+	chosen []int
+	seen   map[int]struct{}
+	perm   []int
 }
 
 // NewRandomK creates a Random-k compressor with its own deterministic
@@ -29,56 +35,75 @@ func (*RandomK) Name() string { return "randomk" }
 
 // Compress implements Compressor.
 func (r *RandomK) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return FreshCompress(r, g, delta)
+}
+
+// CompressInto implements Compressor.
+func (r *RandomK) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
-		return nil, err
+		return err
 	}
 	d := len(g)
 	k := TargetK(d, delta)
-	chosen := sampleIndices(r.rng, d, k)
-	sort.Slice(chosen, func(a, b int) bool { return chosen[a] < chosen[b] })
-	idx := make([]int32, k)
-	vals := make([]float64, k)
+	chosen := r.sampleIndices(d, k)
+	slices.Sort(chosen)
 	scale := 1.0
 	if r.Unbiased {
 		scale = float64(d) / float64(k)
 	}
-	for i, j := range chosen {
-		idx[i] = int32(j)
-		vals[i] = g[j] * scale
+	dst.Reset(d)
+	dst.Grow(k)
+	for _, j := range chosen {
+		dst.Append(int32(j), g[j]*scale)
 	}
-	return tensor.NewSparse(d, idx, vals)
+	return nil
 }
 
-// sampleIndices draws k distinct indices from [0, d). For small k it uses
-// rejection via a set; for large k a partial Fisher–Yates.
-func sampleIndices(rng *rand.Rand, d, k int) []int {
+// sampleIndices draws k distinct indices from [0, d) into reused scratch.
+// For small k it uses rejection via a set; for large k a partial
+// Fisher–Yates. The random stream it consumes is unchanged from the
+// allocating version, so seeded runs stay reproducible across versions.
+func (r *RandomK) sampleIndices(d, k int) []int {
 	if k >= d {
-		out := make([]int, d)
+		out := r.scratchChosen(d)
 		for i := range out {
 			out[i] = i
 		}
 		return out
 	}
 	if k*8 < d {
-		seen := make(map[int]struct{}, k)
-		out := make([]int, 0, k)
+		if r.seen == nil {
+			r.seen = make(map[int]struct{}, k)
+		}
+		clear(r.seen)
+		out := r.scratchChosen(k)[:0]
 		for len(out) < k {
-			j := rng.Intn(d)
-			if _, dup := seen[j]; dup {
+			j := r.rng.Intn(d)
+			if _, dup := r.seen[j]; dup {
 				continue
 			}
-			seen[j] = struct{}{}
+			r.seen[j] = struct{}{}
 			out = append(out, j)
 		}
 		return out
 	}
-	perm := make([]int, d)
+	if cap(r.perm) < d {
+		r.perm = make([]int, d)
+	}
+	perm := r.perm[:d]
 	for i := range perm {
 		perm[i] = i
 	}
 	for i := 0; i < k; i++ {
-		j := i + rng.Intn(d-i)
+		j := i + r.rng.Intn(d-i)
 		perm[i], perm[j] = perm[j], perm[i]
 	}
 	return perm[:k]
+}
+
+func (r *RandomK) scratchChosen(n int) []int {
+	if cap(r.chosen) < n {
+		r.chosen = make([]int, n)
+	}
+	return r.chosen[:n]
 }

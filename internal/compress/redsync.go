@@ -38,8 +38,13 @@ func (*RedSync) Name() string { return "redsync" }
 
 // Compress implements Compressor.
 func (r *RedSync) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return FreshCompress(r, g, delta)
+}
+
+// CompressInto implements Compressor.
+func (r *RedSync) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
-		return nil, err
+		return err
 	}
 	d := len(g)
 	k := TargetK(d, delta)
@@ -48,8 +53,9 @@ func (r *RedSync) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 	max := stats.MaxAbs(g)
 	if max <= mean {
 		// Degenerate (constant-magnitude) vector: everything ties.
-		idx, vals := tensor.FilterAboveThreshold(g, mean, nil, nil)
-		return tensor.NewSparse(d, idx, vals)
+		dst.Reset(d)
+		dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, mean, dst.Idx, dst.Vals)
+		return nil
 	}
 
 	lo, hi := 0.0, 1.0
@@ -67,6 +73,7 @@ func (r *RedSync) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 			hi = ratio // too few: lower it
 		}
 	}
-	idx, vals := tensor.FilterAboveThreshold(g, eta, nil, nil)
-	return tensor.NewSparse(d, idx, vals)
+	dst.Reset(d)
+	dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, eta, dst.Idx, dst.Vals)
+	return nil
 }

@@ -108,6 +108,12 @@ type SIDCo struct {
 	lastEta     float64
 	lastUsedM   int
 	lastRescued bool
+
+	// Streaming-path scratch, reused across iterations: the exceedance
+	// magnitudes of the multi-stage loop and the per-stage ratio
+	// decomposition.
+	exceed   []float64
+	stageBuf []float64
 }
 
 // New creates a SIDCo compressor from cfg (missing fields defaulted). The
@@ -158,11 +164,18 @@ func (s *SIDCo) maxStages(delta float64) int {
 
 // Compress implements compress.Compressor: Algorithm 1's Sparsify.
 func (s *SIDCo) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
+	return compress.FreshCompress(s, g, delta)
+}
+
+// CompressInto implements compress.Compressor: Algorithm 1's Sparsify
+// over caller-owned sparse storage, with the fit and exceedance scratch
+// reused across iterations.
+func (s *SIDCo) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if len(g) == 0 {
-		return nil, fmt.Errorf("sidco: empty gradient")
+		return fmt.Errorf("sidco: empty gradient")
 	}
 	if math.IsNaN(delta) || delta <= 0 || delta > 1 {
-		return nil, fmt.Errorf("sidco: ratio %v outside (0, 1]", delta)
+		return fmt.Errorf("sidco: ratio %v outside (0, 1]", delta)
 	}
 	d := len(g)
 	k := compress.TargetK(d, delta)
@@ -173,7 +186,8 @@ func (s *SIDCo) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 	}
 	eta, used := s.estimateThreshold(g, delta, s.stages)
 
-	idx, vals := tensor.FilterAboveThreshold(g, eta, nil, nil)
+	dst.Reset(d)
+	dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, eta, dst.Idx, dst.Vals)
 
 	// Rescue pass: if the estimate collapsed beyond 3x the target on
 	// either side — far outside the paper's epsilon = 0.2 tolerance band —
@@ -185,8 +199,12 @@ func (s *SIDCo) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 	// estimation-quality dynamics the paper reports (deviations within
 	// ~2x) are untouched.
 	s.lastRescued = false
+	refilter := func() {
+		dst.Reset(d)
+		dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, eta, dst.Idx, dst.Vals)
+	}
 	collapsed := func(kh int) bool { return kh*3 < k || kh > 3*k }
-	if kHat := len(idx); collapsed(kHat) {
+	if kHat := dst.NNZ(); collapsed(kHat) {
 		beta := stats.MeanAbs(g)
 		if beta > 0 {
 			obs := float64(kHat)
@@ -198,7 +216,7 @@ func (s *SIDCo) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 				etaNew = 0
 			}
 			eta = etaNew
-			idx, vals = tensor.FilterAboveThreshold(g, eta, nil, nil)
+			refilter()
 			s.lastRescued = true
 		}
 		// Second tier, under-selection only: if the local correction was
@@ -209,17 +227,17 @@ func (s *SIDCo) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 		// Over-selection is left alone: sending extra elements costs
 		// bandwidth but never convergence, and correcting it upward with
 		// an inflated scale can re-enter the collapse.
-		if kHat := len(idx); kHat*3 < k && beta > 0 {
+		if kHat := dst.NNZ(); kHat*3 < k && beta > 0 {
 			if etaFB := ThresholdExp(beta, delta); etaFB < eta {
 				eta = etaFB
-				idx, vals = tensor.FilterAboveThreshold(g, eta, nil, nil)
+				refilter()
 				s.lastRescued = true
 			}
 		}
 	}
 	s.lastEta = eta
 	s.lastUsedM = used
-	s.lastK = len(idx)
+	s.lastK = dst.NNZ()
 
 	// Record estimation quality and run the Q-periodic stage adaptation.
 	s.ratioSum += float64(s.lastK) / float64(k)
@@ -228,14 +246,14 @@ func (s *SIDCo) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 	if s.iter%s.cfg.Q == 0 {
 		s.adaptStages(maxM)
 	}
-
-	return tensor.NewSparse(d, idx, vals)
+	return nil
 }
 
 // estimateThreshold runs the multi-stage fitting loop and returns the
 // final threshold together with the number of stages actually executed.
 func (s *SIDCo) estimateThreshold(g []float64, delta float64, m int) (eta float64, used int) {
-	ratios := StageRatios(delta, s.cfg.Delta1, m)
+	s.stageBuf = appendStageRatios(s.stageBuf[:0], delta, s.cfg.Delta1, m)
+	ratios := s.stageBuf
 
 	// Stage 1 fits the full gradient with the primary SID.
 	eta = s.firstStageThreshold(g, ratios[0])
@@ -249,23 +267,24 @@ func (s *SIDCo) estimateThreshold(g []float64, delta float64, m int) (eta float6
 	}
 
 	// Later stages fit the exceedances (PoT) over the running threshold.
-	exceed := tensor.ValuesAboveThreshold(g, eta, nil)
+	// The exceedance buffer is per-instance scratch, reused every call.
+	s.exceed = tensor.ValuesAboveThreshold(g, eta, s.exceed[:0])
 	for _, dm := range ratios[1:] {
-		if len(exceed) < s.cfg.MinFitSize {
+		if len(s.exceed) < s.cfg.MinFitSize {
 			break
 		}
-		next := s.nextStageThreshold(exceed, eta, dm)
+		next := s.nextStageThreshold(s.exceed, eta, dm)
 		if !(next > eta) || math.IsNaN(next) || math.IsInf(next, 0) {
 			break // fit degenerated; keep the last sound threshold
 		}
 		// Keep only exceedances of the new threshold for the next stage.
-		kept := exceed[:0]
-		for _, a := range exceed {
+		kept := s.exceed[:0]
+		for _, a := range s.exceed {
 			if a > next {
 				kept = append(kept, a)
 			}
 		}
-		exceed = kept
+		s.exceed = kept
 		eta = next
 		used++
 	}
@@ -345,18 +364,22 @@ func (s *SIDCo) adaptStages(maxM int) {
 // delta/delta1^(M-1), so that the product is exactly delta. M is clamped
 // so the final ratio stays in (0, 1].
 func StageRatios(delta, delta1 float64, m int) []float64 {
+	return appendStageRatios(nil, delta, delta1, m)
+}
+
+// appendStageRatios is StageRatios over caller-owned storage, so the
+// per-iteration hot path reuses its decomposition buffer.
+func appendStageRatios(dst []float64, delta, delta1 float64, m int) []float64 {
 	if m < 1 {
 		m = 1
 	}
 	for m > 1 && delta/math.Pow(delta1, float64(m-1)) > 1 {
 		m--
 	}
-	out := make([]float64, m)
 	for i := 0; i < m-1; i++ {
-		out[i] = delta1
+		dst = append(dst, delta1)
 	}
-	out[m-1] = delta / math.Pow(delta1, float64(m-1))
-	return out
+	return append(dst, delta/math.Pow(delta1, float64(m-1)))
 }
 
 // ThresholdExp is the closed-form double-exponential threshold of

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// allocTrainer builds a trainer whose Batch callback reuses its tensors,
+// so the measurement isolates the engine's own per-step garbage.
+func allocTrainer(t *testing.T, workers int, factory func() compress.Compressor) *Trainer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	model := nn.NewSequential(
+		nn.NewDense("d1", 24, 16, rng),
+		&nn.ReLU{},
+		nn.NewDense("d2", 16, 4, rng),
+	)
+	const batch = 8
+	xs := make([]*nn.Tensor, workers)
+	ts := make([][]int, workers)
+	for w := range xs {
+		xs[w] = nn.NewTensor(batch, 24)
+		ts[w] = make([]int, batch)
+	}
+	tr, err := NewTrainer(TrainerConfig{
+		Workers: workers,
+		Model:   model,
+		Loss:    &nn.SoftmaxCrossEntropy{},
+		Opt:     &nn.SGD{LR: 0.05},
+		Batch: func(worker int, rng *rand.Rand) (*nn.Tensor, []int) {
+			x, targets := xs[worker], ts[worker]
+			for i := range targets {
+				targets[i] = rng.Intn(4)
+				for j := 0; j < 24; j++ {
+					x.Data[i*24+j] = rng.NormFloat64() + float64(targets[i])
+				}
+			}
+			return x, targets
+		},
+		NewCompressor: factory,
+		Delta:         0.05,
+		EC:            factory != nil,
+		ClipNorm:      5,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestStepSteadyStateAllocs is the PR's acceptance criterion: after
+// warm-up, a full synchronous training step — batch draw, forward,
+// backward, clip, EC + SIDCo compression, in-process exchange, optimizer
+// update — must stay within a small constant allocation budget. The
+// multi-worker case tolerates the runtime's goroutine bookkeeping; the
+// single-worker case runs inline and must be allocation-free.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		factory func() compress.Compressor
+		budget  float64
+	}{
+		{"1worker-sidco-ec", 1, func() compress.Compressor { return core.NewE() }, 0},
+		{"2workers-sidco-ec", 2, func() compress.Compressor { return core.NewE() }, 8},
+		{"4workers-topk-ec", 4, func() compress.Compressor { return compress.NewTopK() }, 8},
+		{"2workers-dense", 2, nil, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := allocTrainer(t, tc.workers, tc.factory)
+			for i := 0; i < 30; i++ { // warm every scratch buffer
+				if _, err := tr.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if _, err := tr.Step(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > tc.budget {
+				t.Errorf("Step allocates %v objects/op in steady state, budget %v", allocs, tc.budget)
+			}
+		})
+	}
+}

@@ -10,7 +10,7 @@ import (
 	"repro/internal/netsim"
 )
 
-func topkFactory() compress.Compressor  { return compress.TopK{} }
+func topkFactory() compress.Compressor  { return compress.NewTopK() }
 func sidcoFactory() compress.Compressor { return core.NewE() }
 
 func TestTable1Catalog(t *testing.T) {

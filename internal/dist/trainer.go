@@ -80,7 +80,7 @@ type worker struct {
 	rng    *rand.Rand
 	comp   compress.Compressor // nil = dense path
 	flat   []float64           // local gradient buffer
-	sparse *tensor.Sparse
+	sparse *tensor.Sparse      // reused compressed-selection storage
 	loss   float64
 	ratio  float64
 	err    error
@@ -113,6 +113,7 @@ type Trainer struct {
 	exchange GradientExchange
 	tapBuf   []float64
 	iter     int
+	wg       sync.WaitGroup // reused per-step barrier
 }
 
 // NewTrainer validates the configuration and allocates per-worker state.
@@ -157,10 +158,11 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 			}
 		}
 		t.workers[w] = &worker{
-			id:   w,
-			rng:  rand.New(rand.NewSource(workerSeed(cfg.Seed, w))),
-			comp: comp,
-			flat: make([]float64, dim),
+			id:     w,
+			rng:    rand.New(rand.NewSource(workerSeed(cfg.Seed, w))),
+			comp:   comp,
+			flat:   make([]float64, dim),
+			sparse: &tensor.Sparse{Dim: dim},
 		}
 	}
 	return t, nil
@@ -205,16 +207,16 @@ func (t *Trainer) localGradient(w *worker) error {
 		t.tapGradient(w)
 	}
 	if w.comp == nil {
-		w.sparse = nil
 		w.ratio = 1
 		return nil
 	}
-	s, err := w.comp.Compress(w.flat, t.cfg.Delta)
-	if err != nil {
+	// The selection lands in the worker's reused sparse scratch: the
+	// exchange consumes it synchronously inside Step, so by the next
+	// iteration no one holds a reference and the storage can be recycled.
+	if err := w.comp.CompressInto(w.sparse, w.flat, t.cfg.Delta); err != nil {
 		return fmt.Errorf("dist: worker %d: %w", w.id, err)
 	}
-	w.sparse = s
-	w.ratio = float64(s.NNZ()) / float64(t.k)
+	w.ratio = float64(w.sparse.NNZ()) / float64(t.k)
 	return nil
 }
 
@@ -240,18 +242,29 @@ func (t *Trainer) tapGradient(w *worker) {
 	t.cfg.OnGradient(t.iter, tap)
 }
 
+// stepWorker is the goroutine body of one worker's half-step. It is a
+// plain method (not a closure) so spawning it each step allocates
+// nothing.
+func (t *Trainer) stepWorker(w *worker) {
+	w.err = t.localGradient(w)
+	t.wg.Done()
+}
+
 // Step runs one synchronous iteration and returns the mean training loss
 // across workers.
 func (t *Trainer) Step() (float64, error) {
-	var wg sync.WaitGroup
-	for _, w := range t.workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			w.err = t.localGradient(w)
-		}(w)
+	if len(t.workers) == 1 {
+		// Single-worker training needs no barrier; running inline keeps
+		// the steady-state step allocation-free.
+		w := t.workers[0]
+		w.err = t.localGradient(w)
+	} else {
+		t.wg.Add(len(t.workers))
+		for _, w := range t.workers {
+			go t.stepWorker(w)
+		}
+		t.wg.Wait()
 	}
-	wg.Wait()
 
 	// All reductions below iterate workers in index order so the
 	// floating-point results are independent of goroutine scheduling.
@@ -262,7 +275,11 @@ func (t *Trainer) Step() (float64, error) {
 	}
 	loss, ratio := 0.0, 0.0
 	for i, w := range t.workers {
-		t.ins[i] = ExchangeInput{Worker: w.id, Dense: w.flat, Sparse: w.sparse}
+		var sp *tensor.Sparse
+		if w.comp != nil {
+			sp = w.sparse
+		}
+		t.ins[i] = ExchangeInput{Worker: w.id, Dense: w.flat, Sparse: sp}
 		loss += w.loss
 		ratio += w.ratio
 	}
@@ -280,16 +297,21 @@ func (t *Trainer) Step() (float64, error) {
 
 // Run executes iters steps and returns the per-iteration mean losses and
 // mean achieved compression ratios (k-hat/k; all ones for dense runs).
+// Both result slices are preallocated to their final length up front, so
+// the run's only per-step work is the steps themselves.
 func (t *Trainer) Run(iters int) ([]float64, []float64, error) {
-	losses := make([]float64, 0, iters)
-	ratios := make([]float64, 0, iters)
+	if iters < 0 {
+		iters = 0
+	}
+	losses := make([]float64, iters)
+	ratios := make([]float64, iters)
 	for i := 0; i < iters; i++ {
 		loss, err := t.Step()
 		if err != nil {
 			return nil, nil, err
 		}
-		losses = append(losses, loss)
-		ratios = append(ratios, t.LastRatio)
+		losses[i] = loss
+		ratios[i] = t.LastRatio
 	}
 	return losses, ratios, nil
 }

@@ -27,7 +27,7 @@ func convTrainer(t *testing.T, workers int, comp string, delta float64, ec bool,
 	switch comp {
 	case "":
 	case "topk":
-		factory = func() compress.Compressor { return compress.TopK{} }
+		factory = func() compress.Compressor { return compress.NewTopK() }
 	default:
 		t.Fatalf("unknown compressor %q", comp)
 	}
@@ -180,11 +180,11 @@ func TestNewTrainerValidation(t *testing.T) {
 		{"nil opt", func(c *TrainerConfig) { c.Opt = nil }},
 		{"nil batch", func(c *TrainerConfig) { c.Batch = nil }},
 		{"bad delta", func(c *TrainerConfig) {
-			c.NewCompressor = func() compress.Compressor { return compress.TopK{} }
+			c.NewCompressor = func() compress.Compressor { return compress.NewTopK() }
 			c.Delta = 0
 		}},
 		{"delta above one", func(c *TrainerConfig) {
-			c.NewCompressor = func() compress.Compressor { return compress.TopK{} }
+			c.NewCompressor = func() compress.Compressor { return compress.NewTopK() }
 			c.Delta = 1.5
 		}},
 	}

@@ -57,20 +57,29 @@ func BestFormat(d, k int) (Format, int) {
 
 // Encode serialises s in the given format.
 func Encode(s *tensor.Sparse, f Format) ([]byte, error) {
+	return EncodeTo(nil, s, f)
+}
+
+// EncodeTo appends the serialisation of s in the given format to dst
+// (which may be nil) and returns the extended buffer. Callers that keep
+// the returned buffer and pass `buf[:0]` back in amortise the wire
+// allocation away — the streaming pipeline encodes every chunk of every
+// step into recycled buffers this way.
+func EncodeTo(dst []byte, s *tensor.Sparse, f Format) ([]byte, error) {
 	if s.Dim > math.MaxUint32 || s.NNZ() > math.MaxUint32 {
 		return nil, fmt.Errorf("encoding: vector too large")
 	}
 	switch f {
 	case FormatPairs:
-		return encodePairs(s), nil
+		return appendPairs(dst, s), nil
 	case FormatBitmap:
-		return encodeBitmap(s), nil
+		return appendBitmap(dst, s), nil
 	case FormatDense:
-		return encodeDense(s), nil
+		return appendDense(dst, s), nil
 	case FormatDeltaVarint:
-		return EncodeDeltaVarint(s)
+		return appendDeltaVarint(dst, s), nil
 	case FormatPairs64:
-		return encodePairs64(s), nil
+		return appendPairs64(dst, s), nil
 	default:
 		return nil, fmt.Errorf("encoding: unknown format %d", f)
 	}
@@ -82,14 +91,26 @@ func EncodeBest(s *tensor.Sparse) ([]byte, error) {
 	return Encode(s, f)
 }
 
+// extend grows dst by n bytes and returns the full buffer plus the
+// writable window for those n bytes. The window is not zeroed: fixed-
+// layout encoders overwrite every byte they claim.
+func extend(dst []byte, n int) (all, w []byte) {
+	if cap(dst)-len(dst) >= n {
+		all = dst[:len(dst)+n]
+	} else {
+		all = append(dst, make([]byte, n)...)
+	}
+	return all, all[len(all)-n:]
+}
+
 func putHeader(buf []byte, f Format, dim, nnz int) {
 	buf[0] = byte(f)
 	binary.LittleEndian.PutUint32(buf[1:5], uint32(dim))
 	binary.LittleEndian.PutUint32(buf[5:9], uint32(nnz))
 }
 
-func encodePairs(s *tensor.Sparse) []byte {
-	buf := make([]byte, PairsSize(s.Dim, s.NNZ()))
+func appendPairs(dst []byte, s *tensor.Sparse) []byte {
+	dst, buf := extend(dst, PairsSize(s.Dim, s.NNZ()))
 	putHeader(buf, FormatPairs, s.Dim, s.NNZ())
 	off := headerSize
 	for i, j := range s.Idx {
@@ -97,13 +118,14 @@ func encodePairs(s *tensor.Sparse) []byte {
 		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(float32(s.Vals[i])))
 		off += 8
 	}
-	return buf
+	return dst
 }
 
-func encodeBitmap(s *tensor.Sparse) []byte {
-	buf := make([]byte, BitmapSize(s.Dim, s.NNZ()))
+func appendBitmap(dst []byte, s *tensor.Sparse) []byte {
+	dst, buf := extend(dst, BitmapSize(s.Dim, s.NNZ()))
 	putHeader(buf, FormatBitmap, s.Dim, s.NNZ())
 	bitmap := buf[headerSize : headerSize+(s.Dim+7)/8]
+	clear(bitmap) // reused windows carry stale bits
 	for _, j := range s.Idx {
 		bitmap[j/8] |= 1 << (uint(j) % 8)
 	}
@@ -112,19 +134,21 @@ func encodeBitmap(s *tensor.Sparse) []byte {
 		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(v)))
 		off += 4
 	}
-	return buf
+	return dst
 }
 
-func encodeDense(s *tensor.Sparse) []byte {
-	buf := make([]byte, DenseSize(s.Dim))
+func appendDense(dst []byte, s *tensor.Sparse) []byte {
+	dst, buf := extend(dst, DenseSize(s.Dim))
 	putHeader(buf, FormatDense, s.Dim, s.NNZ())
-	off := headerSize
-	dense := s.Dense()
-	for _, v := range dense {
-		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(v)))
-		off += 4
+	// Scatter directly into the wire buffer: positions without a stored
+	// element encode float32(0), which is exactly the 4 zero bytes the
+	// cleared window holds.
+	vals := buf[headerSize:]
+	clear(vals)
+	for i, j := range s.Idx {
+		binary.LittleEndian.PutUint32(vals[4*int(j):], math.Float32bits(float32(s.Vals[i])))
 	}
-	return buf
+	return dst
 }
 
 // Decode deserialises a gradient encoded by Encode. All formats except
@@ -134,88 +158,104 @@ func encodeDense(s *tensor.Sparse) []byte {
 // size-proportional allocation, so hostile headers claiming huge
 // dimensions or counts fail cleanly.
 func Decode(buf []byte) (*tensor.Sparse, error) {
+	s := &tensor.Sparse{}
+	if err := DecodeInto(s, buf); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeInto is Decode over caller-owned sparse storage: s is Reset and
+// filled in place, so a receive loop decoding into the same vector does
+// no per-message allocation once its capacity has warmed up. s's prior
+// contents are never visible in the result — on error s may hold partial
+// data, but a nil error guarantees the full Sparse invariant (DecodeInto
+// re-validates untrusted index streams just as Decode did).
+func DecodeInto(s *tensor.Sparse, buf []byte) error {
 	if len(buf) < headerSize {
-		return nil, fmt.Errorf("encoding: truncated header")
+		return fmt.Errorf("encoding: truncated header")
 	}
 	f := Format(buf[0])
 	dim := int(binary.LittleEndian.Uint32(buf[1:5]))
 	nnz := int(binary.LittleEndian.Uint32(buf[5:9]))
 	if nnz > dim {
-		return nil, fmt.Errorf("encoding: nnz %d exceeds dim %d", nnz, dim)
+		return fmt.Errorf("encoding: nnz %d exceeds dim %d", nnz, dim)
 	}
 	switch f {
 	case FormatPairs:
-		return decodePairs(buf, dim, nnz)
+		return decodePairs(s, buf, dim, nnz)
 	case FormatBitmap:
-		return decodeBitmap(buf, dim, nnz)
+		return decodeBitmap(s, buf, dim, nnz)
 	case FormatDense:
-		return decodeDense(buf, dim, nnz)
+		return decodeDense(s, buf, dim, nnz)
 	case FormatDeltaVarint:
-		return decodeDeltaVarint(buf, dim, nnz)
+		return decodeDeltaVarint(s, buf, dim, nnz)
 	case FormatPairs64:
-		return decodePairs64(buf, dim, nnz)
+		return decodePairs64(s, buf, dim, nnz)
 	default:
-		return nil, fmt.Errorf("encoding: unknown format byte %d", buf[0])
+		return fmt.Errorf("encoding: unknown format byte %d", buf[0])
 	}
 }
 
-func decodePairs(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
+func decodePairs(s *tensor.Sparse, buf []byte, dim, nnz int) error {
 	if len(buf) != PairsSize(dim, nnz) {
-		return nil, fmt.Errorf("encoding: pairs size %d, want %d", len(buf), PairsSize(dim, nnz))
+		return fmt.Errorf("encoding: pairs size %d, want %d", len(buf), PairsSize(dim, nnz))
 	}
-	idx := make([]int32, nnz)
-	vals := make([]float64, nnz)
+	s.Reset(dim)
+	s.Grow(nnz)
 	off := headerSize
 	for i := 0; i < nnz; i++ {
-		idx[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
-		vals[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:])))
+		j := int32(binary.LittleEndian.Uint32(buf[off:]))
+		v := float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:])))
+		s.Append(j, v)
 		off += 8
 	}
-	return tensor.NewSparse(dim, idx, vals)
+	// The index stream is untrusted wire data; re-establish the Sparse
+	// invariant exactly as the allocating path's NewSparse did.
+	return s.Validate()
 }
 
-func decodeBitmap(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
+func decodeBitmap(s *tensor.Sparse, buf []byte, dim, nnz int) error {
 	if len(buf) != BitmapSize(dim, nnz) {
-		return nil, fmt.Errorf("encoding: bitmap size %d, want %d", len(buf), BitmapSize(dim, nnz))
+		return fmt.Errorf("encoding: bitmap size %d, want %d", len(buf), BitmapSize(dim, nnz))
 	}
 	bitmap := buf[headerSize : headerSize+(dim+7)/8]
 	if dim%8 != 0 && bitmap[len(bitmap)-1]>>(uint(dim)%8) != 0 {
 		// Set padding bits past dim would make two distinct buffers decode
 		// identically; reject the non-canonical form.
-		return nil, fmt.Errorf("encoding: bitmap padding bits set past dim %d", dim)
+		return fmt.Errorf("encoding: bitmap padding bits set past dim %d", dim)
 	}
-	idx := make([]int32, 0, nnz)
+	s.Reset(dim)
+	s.Grow(nnz)
 	for j := 0; j < dim; j++ {
 		if bitmap[j/8]&(1<<(uint(j)%8)) != 0 {
-			idx = append(idx, int32(j))
+			s.Idx = append(s.Idx, int32(j))
 		}
 	}
-	if len(idx) != nnz {
-		return nil, fmt.Errorf("encoding: bitmap popcount %d, header says %d", len(idx), nnz)
+	if len(s.Idx) != nnz {
+		return fmt.Errorf("encoding: bitmap popcount %d, header says %d", len(s.Idx), nnz)
 	}
-	vals := make([]float64, nnz)
 	off := headerSize + len(bitmap)
-	for i := range vals {
-		vals[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+	for i := 0; i < nnz; i++ {
+		s.Vals = append(s.Vals, float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))))
 		off += 4
 	}
-	return tensor.NewSparse(dim, idx, vals)
+	return nil
 }
 
-func decodeDense(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
+func decodeDense(s *tensor.Sparse, buf []byte, dim, nnz int) error {
 	if len(buf) != DenseSize(dim) {
-		return nil, fmt.Errorf("encoding: dense size %d, want %d", len(buf), DenseSize(dim))
+		return fmt.Errorf("encoding: dense size %d, want %d", len(buf), DenseSize(dim))
 	}
-	idx := make([]int32, 0, nnz)
-	vals := make([]float64, 0, nnz)
+	s.Reset(dim)
+	s.Grow(nnz)
 	off := headerSize
 	for j := 0; j < dim; j++ {
 		v := math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
 		if v != 0 {
-			idx = append(idx, int32(j))
-			vals = append(vals, float64(v))
+			s.Append(int32(j), float64(v))
 		}
 	}
-	return tensor.NewSparse(dim, idx, vals)
+	return nil
 }

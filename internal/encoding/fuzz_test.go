@@ -72,3 +72,77 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzEncodeToDecodeIntoReuse targets the reused-buffer fast paths with
+// deliberately dirty scratch: the decode target is pre-filled with stale
+// pairs and the encode destination with stale bytes, then every result is
+// cross-checked against the allocating paths. Any divergence is an
+// aliasing or stale-data bug — exactly the class of defect buffer reuse
+// can introduce silently.
+func FuzzEncodeToDecodeIntoReuse(f *testing.F) {
+	s, err := tensor.NewSparse(64, []int32{0, 3, 17, 40, 63}, []float64{1, -2.5, 0.25, 3, -4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, format := range []Format{FormatPairs, FormatBitmap, FormatDense, FormatDeltaVarint, FormatPairs64} {
+		buf, err := Encode(s, format)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		f.Add(buf[:len(buf)-1])
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		fresh, freshErr := Decode(buf)
+
+		// Decode into storage polluted by a previous unrelated decode.
+		dirty := &tensor.Sparse{Dim: 999, Idx: []int32{5, 6, 900}, Vals: []float64{math.NaN(), 7, -1}}
+		intoErr := DecodeInto(dirty, buf)
+		if (freshErr == nil) != (intoErr == nil) {
+			t.Fatalf("Decode err=%v but DecodeInto err=%v", freshErr, intoErr)
+		}
+		if freshErr != nil {
+			return
+		}
+		if dirty.Dim != fresh.Dim || dirty.NNZ() != fresh.NNZ() {
+			t.Fatalf("DecodeInto shape (%d,%d) != Decode shape (%d,%d)",
+				dirty.Dim, dirty.NNZ(), fresh.Dim, fresh.NNZ())
+		}
+		for i := range fresh.Idx {
+			if dirty.Idx[i] != fresh.Idx[i] ||
+				math.Float64bits(dirty.Vals[i]) != math.Float64bits(fresh.Vals[i]) {
+				t.Fatalf("DecodeInto element %d = (%d,%v), Decode = (%d,%v): stale data leaked",
+					i, dirty.Idx[i], dirty.Vals[i], fresh.Idx[i], fresh.Vals[i])
+			}
+		}
+
+		// Re-encode the decoded vector in every format through a reused,
+		// garbage-prefilled destination buffer, twice back to back: both
+		// passes must match the allocating Encode bytewise (the second
+		// pass catches stale state the first one left behind, e.g. bitmap
+		// bits or varint tails surviving a shorter re-encode).
+		for _, format := range []Format{FormatPairs, FormatBitmap, FormatDense, FormatDeltaVarint, FormatPairs64} {
+			want, err := Encode(fresh, format)
+			if err != nil {
+				t.Fatalf("format %d: Encode failed: %v", format, err)
+			}
+			reuse := bytes.Repeat([]byte{0xAA}, 7) // dirty, oddly-sized seed capacity
+			for pass := 0; pass < 2; pass++ {
+				reuse, err = EncodeTo(reuse[:0], fresh, format)
+				if err != nil {
+					t.Fatalf("format %d pass %d: EncodeTo failed: %v", format, pass, err)
+				}
+				if !bytes.Equal(reuse, want) {
+					t.Fatalf("format %d pass %d: EncodeTo differs from Encode", format, pass)
+				}
+			}
+			// And the reused wire must decode back into reused storage to
+			// the same vector.
+			if err := DecodeInto(dirty, reuse); err != nil {
+				t.Fatalf("format %d: DecodeInto of EncodeTo output failed: %v", format, err)
+			}
+		}
+	})
+}

@@ -19,8 +19,8 @@ const FormatPairs64 Format = 4
 // d-dimensional vector in lossless pair format.
 func Pairs64Size(d, k int) int { return headerSize + 12*k }
 
-func encodePairs64(s *tensor.Sparse) []byte {
-	buf := make([]byte, Pairs64Size(s.Dim, s.NNZ()))
+func appendPairs64(dst []byte, s *tensor.Sparse) []byte {
+	dst, buf := extend(dst, Pairs64Size(s.Dim, s.NNZ()))
 	putHeader(buf, FormatPairs64, s.Dim, s.NNZ())
 	off := headerSize
 	for i, j := range s.Idx {
@@ -28,20 +28,21 @@ func encodePairs64(s *tensor.Sparse) []byte {
 		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(s.Vals[i]))
 		off += 12
 	}
-	return buf
+	return dst
 }
 
-func decodePairs64(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
+func decodePairs64(s *tensor.Sparse, buf []byte, dim, nnz int) error {
 	if len(buf) != Pairs64Size(dim, nnz) {
-		return nil, fmt.Errorf("encoding: pairs64 size %d, want %d", len(buf), Pairs64Size(dim, nnz))
+		return fmt.Errorf("encoding: pairs64 size %d, want %d", len(buf), Pairs64Size(dim, nnz))
 	}
-	idx := make([]int32, nnz)
-	vals := make([]float64, nnz)
+	s.Reset(dim)
+	s.Grow(nnz)
 	off := headerSize
 	for i := 0; i < nnz; i++ {
-		idx[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
-		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		j := int32(binary.LittleEndian.Uint32(buf[off:]))
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		s.Append(j, v)
 		off += 12
 	}
-	return tensor.NewSparse(dim, idx, vals)
+	return s.Validate()
 }

@@ -27,8 +27,12 @@ func EncodeDeltaVarint(s *tensor.Sparse) ([]byte, error) {
 	if s.Dim > math.MaxUint32 || s.NNZ() > math.MaxUint32 {
 		return nil, fmt.Errorf("encoding: vector too large")
 	}
-	buf := make([]byte, headerSize, headerSize+9*s.NNZ())
-	putHeader(buf, FormatDeltaVarint, s.Dim, s.NNZ())
+	return appendDeltaVarint(nil, s), nil
+}
+
+func appendDeltaVarint(dst []byte, s *tensor.Sparse) []byte {
+	buf, hdr := extend(dst, headerSize)
+	putHeader(hdr, FormatDeltaVarint, s.Dim, s.NNZ())
 	prev := int32(-1)
 	var tmp [binary.MaxVarintLen64]byte
 	for _, j := range s.Idx {
@@ -42,50 +46,50 @@ func EncodeDeltaVarint(s *tensor.Sparse) ([]byte, error) {
 		binary.LittleEndian.PutUint32(vb[:], math.Float32bits(float32(v)))
 		buf = append(buf, vb[:]...)
 	}
-	return buf, nil
+	return buf
 }
 
 // decodeDeltaVarint is the counterpart of EncodeDeltaVarint; it is wired
-// into Decode via the format byte.
-func decodeDeltaVarint(buf []byte, dim, nnz int) (*tensor.Sparse, error) {
+// into DecodeInto via the format byte.
+func decodeDeltaVarint(s *tensor.Sparse, buf []byte, dim, nnz int) error {
 	// Every gap takes at least one byte and every value exactly four, so a
 	// buffer shorter than headerSize+5*nnz cannot be valid. Checking first
 	// keeps a hostile header from provoking a huge allocation.
 	if len(buf) < headerSize+5*nnz {
-		return nil, fmt.Errorf("encoding: delta-varint size %d below minimum %d for nnz %d",
+		return fmt.Errorf("encoding: delta-varint size %d below minimum %d for nnz %d",
 			len(buf), headerSize+5*nnz, nnz)
 	}
-	idx := make([]int32, nnz)
+	s.Reset(dim)
+	s.Grow(nnz)
 	pos := headerSize
 	prev := int64(-1)
 	for i := 0; i < nnz; i++ {
 		gap, n := binary.Uvarint(buf[pos:])
 		if n <= 0 {
-			return nil, fmt.Errorf("encoding: corrupt varint gap at element %d", i)
+			return fmt.Errorf("encoding: corrupt varint gap at element %d", i)
 		}
 		if gap == 0 || gap > uint64(dim) {
-			return nil, fmt.Errorf("encoding: varint gap %d out of range at element %d", gap, i)
+			return fmt.Errorf("encoding: varint gap %d out of range at element %d", gap, i)
 		}
 		if n > 1 && buf[pos+n-1] == 0 {
 			// Redundant trailing continuation bytes would let two distinct
 			// buffers decode to the same vector, breaking the exact
 			// byte-accounting the transport instrumentation relies on.
-			return nil, fmt.Errorf("encoding: non-canonical varint gap at element %d", i)
+			return fmt.Errorf("encoding: non-canonical varint gap at element %d", i)
 		}
 		pos += n
 		prev += int64(gap)
 		if prev >= int64(dim) {
-			return nil, fmt.Errorf("encoding: decoded index %d out of dim %d", prev, dim)
+			return fmt.Errorf("encoding: decoded index %d out of dim %d", prev, dim)
 		}
-		idx[i] = int32(prev)
+		s.Idx = append(s.Idx, int32(prev))
 	}
 	if len(buf) != pos+4*nnz {
-		return nil, fmt.Errorf("encoding: delta-varint size %d, want %d", len(buf), pos+4*nnz)
+		return fmt.Errorf("encoding: delta-varint size %d, want %d", len(buf), pos+4*nnz)
 	}
-	vals := make([]float64, nnz)
-	for i := range vals {
-		vals[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[pos:])))
+	for i := 0; i < nnz; i++ {
+		s.Vals = append(s.Vals, float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[pos:]))))
 		pos += 4
 	}
-	return tensor.NewSparse(dim, idx, vals)
+	return nil
 }

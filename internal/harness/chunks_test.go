@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChunkStudyRenders exercises the full study end to end and checks
+// that every cross-validation column comes out clean: no row may report
+// inexact traffic or a non-bit-identical aggregate.
+func TestChunkStudyRenders(t *testing.T) {
+	var sb strings.Builder
+	cfg := ChunkStudyConfig{Workers: 3, Dim: 1 << 12, Delta: 0.05, Chunks: []int{1, 2, 4}, Seed: 5}
+	if err := ChunkStudy(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "false") {
+		t.Fatalf("study reports a failed cross-check:\n%s", out)
+	}
+	for _, want := range []string{"homogeneous", "straggler", "chunks", "bit-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestChunkStudyStragglerWin pins the acceptance criterion: under the
+// default bandwidth-constrained fabric with a straggling node, at least
+// one chunked configuration must beat the monolithic schedule on the
+// alpha-beta virtual clock. The virtual clock is deterministic, so this
+// is a stable assertion, not a flaky wall-clock race.
+func TestChunkStudyStragglerWin(t *testing.T) {
+	cfg := ChunkStudyConfig{Seed: 1}.withDefaults()
+	ins, err := chunkStudyInputs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressSec := 2e-3
+	measure := func(chunks int, straggler bool) float64 {
+		s := scenarioFor(cfg, straggler)
+		run, err := measureChunks(cfg, ins, s, compressSec, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.msgs != run.wantMsgs || run.bytes != run.wantBytes {
+			t.Fatalf("chunks=%d: traffic mismatch: msgs %d want %d, bytes %d want %d",
+				chunks, run.msgs, run.wantMsgs, run.bytes, run.wantBytes)
+		}
+		return run.elapsed
+	}
+	for _, straggler := range []bool{false, true} {
+		mono := measure(1, straggler)
+		best := mono
+		for _, c := range []int{2, 4, 8} {
+			if v := measure(c, straggler); v < best {
+				best = v
+			}
+		}
+		if best >= mono {
+			t.Errorf("straggler=%v: no chunked config beats monolithic (mono %v, best %v)", straggler, mono, best)
+		}
+	}
+}

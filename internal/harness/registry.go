@@ -24,7 +24,7 @@ func NewCompressor(name string, seed int64) (compress.Compressor, error) {
 	case "none":
 		return compress.None{}, nil
 	case "topk":
-		return compress.TopK{}, nil
+		return compress.NewTopK(), nil
 	case "dgc":
 		return compress.NewDGC(seed), nil
 	case "redsync":

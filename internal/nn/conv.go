@@ -13,7 +13,8 @@ type Conv2D struct {
 	W            *Param // [OutC, InC, K, K]
 	B            *Param // [OutC]
 
-	x *Tensor
+	x           *Tensor
+	out, gradIn *Tensor
 }
 
 // NewConv2D creates a convolution with Glorot-uniform kernels.
@@ -43,7 +44,7 @@ func (c *Conv2D) Forward(x *Tensor) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: conv %s: input %dx%d smaller than kernel %d", c.Name(), h, w, c.K))
 	}
-	out := NewTensor(batch, c.OutC, oh, ow)
+	out := ensure(&c.out, batch, c.OutC, oh, ow)
 	for b := 0; b < batch; b++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			bias := c.B.W[oc]
@@ -72,7 +73,7 @@ func (c *Conv2D) Backward(gradOut *Tensor) *Tensor {
 	x := c.x
 	batch, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := h-c.K+1, w-c.K+1
-	gradIn := NewTensor(batch, c.InC, h, w)
+	gradIn := ensure(&c.gradIn, batch, c.InC, h, w)
 	for b := 0; b < batch; b++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			for oy := 0; oy < oh; oy++ {
@@ -107,8 +108,9 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 // MaxPool2D is 2x2 max pooling with stride 2 over [B, C, H, W]; odd
 // trailing rows/columns are dropped (floor semantics).
 type MaxPool2D struct {
-	argmax  []int
-	inShape []int
+	argmax      []int
+	inShape     []int
+	out, gradIn *Tensor
 }
 
 // Name implements Layer.
@@ -122,7 +124,7 @@ func (m *MaxPool2D) Forward(x *Tensor) *Tensor {
 	m.inShape = append(m.inShape[:0], x.Shape...)
 	batch, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := h/2, w/2
-	out := NewTensor(batch, ch, oh, ow)
+	out := ensure(&m.out, batch, ch, oh, ow)
 	m.argmax = m.argmax[:0]
 	for b := 0; b < batch; b++ {
 		for c := 0; c < ch; c++ {
@@ -151,7 +153,7 @@ func (m *MaxPool2D) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(gradOut *Tensor) *Tensor {
-	gradIn := NewTensor(m.inShape...)
+	gradIn := ensure(&m.gradIn, m.inShape...)
 	for i, src := range m.argmax {
 		gradIn.Data[src] += gradOut.Data[i]
 	}

@@ -12,7 +12,8 @@ type Dense struct {
 	W       *Param // shape [in, out]
 	B       *Param // shape [out]
 
-	x *Tensor // cached input
+	x           *Tensor // cached input
+	out, gradIn *Tensor // reused output / input-gradient storage
 }
 
 // NewDense creates a dense layer with Glorot-uniform weights.
@@ -37,7 +38,7 @@ func (d *Dense) Forward(x *Tensor) *Tensor {
 	}
 	d.x = x
 	batch := x.Shape[0]
-	out := NewTensor(batch, d.Out)
+	out := ensure(&d.out, batch, d.Out)
 	for b := 0; b < batch; b++ {
 		xRow := x.Data[b*d.In : (b+1)*d.In]
 		oRow := out.Data[b*d.Out : (b+1)*d.Out]
@@ -58,7 +59,7 @@ func (d *Dense) Forward(x *Tensor) *Tensor {
 // Backward implements Layer.
 func (d *Dense) Backward(gradOut *Tensor) *Tensor {
 	batch := d.x.Shape[0]
-	gradIn := NewTensor(batch, d.In)
+	gradIn := ensure(&d.gradIn, batch, d.In)
 	for b := 0; b < batch; b++ {
 		xRow := d.x.Data[b*d.In : (b+1)*d.In]
 		gRow := gradOut.Data[b*d.Out : (b+1)*d.Out]
@@ -92,6 +93,8 @@ type Embedding struct {
 	ids []int
 	bt  int // batch * time of the cached forward
 	t   int
+
+	out, gradIn *Tensor
 }
 
 // NewEmbedding creates an embedding table with small random init.
@@ -113,7 +116,7 @@ func (e *Embedding) Forward(x *Tensor) *Tensor {
 	e.bt = batch * T
 	e.t = T
 	e.ids = e.ids[:0]
-	out := NewTensor(batch, T, e.Dim)
+	out := ensure(&e.out, batch, T, e.Dim)
 	for n := 0; n < batch*T; n++ {
 		id := int(x.Data[n])
 		if id < 0 || id >= e.Vocab {
@@ -136,7 +139,7 @@ func (e *Embedding) Backward(gradOut *Tensor) *Tensor {
 			wg[j] += gv
 		}
 	}
-	return NewTensor(e.bt/e.t, e.t)
+	return ensure(&e.gradIn, e.bt/e.t, e.t)
 }
 
 // Params implements Layer.
@@ -148,7 +151,9 @@ func (e *Embedding) Params() []*Param { return []*Param{e.W} }
 type TimeDistributed struct {
 	Inner *Dense
 
-	b, t int
+	b, t                     int
+	flatView, outView        *Tensor
+	gradFlatView, gradInView *Tensor
 }
 
 // NewTimeDistributed wraps dense.
@@ -165,16 +170,16 @@ func (td *TimeDistributed) Forward(x *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: time-distributed: input shape %v, want [B, T, in]", x.Shape))
 	}
 	td.b, td.t = x.Shape[0], x.Shape[1]
-	flat := x.Reshape(td.b*td.t, x.Shape[2])
+	flat := viewInto(&td.flatView, x, td.b*td.t, x.Shape[2])
 	out := td.Inner.Forward(flat)
-	return out.Reshape(td.b, td.t, td.Inner.Out)
+	return viewInto(&td.outView, out, td.b, td.t, td.Inner.Out)
 }
 
 // Backward implements Layer.
 func (td *TimeDistributed) Backward(gradOut *Tensor) *Tensor {
-	flat := gradOut.Reshape(td.b*td.t, td.Inner.Out)
+	flat := viewInto(&td.gradFlatView, gradOut, td.b*td.t, td.Inner.Out)
 	gradIn := td.Inner.Backward(flat)
-	return gradIn.Reshape(td.b, td.t, td.Inner.In)
+	return viewInto(&td.gradInView, gradIn, td.b, td.t, td.Inner.In)
 }
 
 // Params implements Layer.

@@ -77,7 +77,8 @@ func initUniform(rng *rand.Rand, w []float64, fanIn, fanOut int) {
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
+	mask        []bool
+	out, gradIn *Tensor
 }
 
 // Name implements Layer.
@@ -85,7 +86,7 @@ func (*ReLU) Name() string { return "relu" }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor) *Tensor {
-	out := x.Clone()
+	out := ensure(&r.out, x.Shape...)
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
@@ -93,9 +94,9 @@ func (r *ReLU) Forward(x *Tensor) *Tensor {
 	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			out.Data[i] = v
 		} else {
 			r.mask[i] = false
-			out.Data[i] = 0
 		}
 	}
 	return out
@@ -103,10 +104,10 @@ func (r *ReLU) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *Tensor) *Tensor {
-	in := gradOut.Clone()
-	for i := range in.Data {
-		if !r.mask[i] {
-			in.Data[i] = 0
+	in := ensure(&r.gradIn, gradOut.Shape...)
+	for i, g := range gradOut.Data {
+		if r.mask[i] {
+			in.Data[i] = g
 		}
 	}
 	return in
@@ -117,7 +118,8 @@ func (*ReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic tangent activation.
 type Tanh struct {
-	out []float64
+	out          []float64
+	outT, gradIn *Tensor
 }
 
 // Name implements Layer.
@@ -125,7 +127,7 @@ func (*Tanh) Name() string { return "tanh" }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *Tensor) *Tensor {
-	out := x.Clone()
+	out := ensure(&t.outT, x.Shape...)
 	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
 	}
@@ -135,9 +137,9 @@ func (t *Tanh) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (t *Tanh) Backward(gradOut *Tensor) *Tensor {
-	in := gradOut.Clone()
-	for i := range in.Data {
-		in.Data[i] *= 1 - t.out[i]*t.out[i]
+	in := ensure(&t.gradIn, gradOut.Shape...)
+	for i, g := range gradOut.Data {
+		in.Data[i] = g * (1 - t.out[i]*t.out[i])
 	}
 	return in
 }
@@ -147,7 +149,8 @@ func (*Tanh) Params() []*Param { return nil }
 
 // Sigmoid is the logistic activation.
 type Sigmoid struct {
-	out []float64
+	out          []float64
+	outT, gradIn *Tensor
 }
 
 // Name implements Layer.
@@ -155,7 +158,7 @@ func (*Sigmoid) Name() string { return "sigmoid" }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *Tensor) *Tensor {
-	out := x.Clone()
+	out := ensure(&s.outT, x.Shape...)
 	for i, v := range x.Data {
 		out.Data[i] = 1 / (1 + math.Exp(-v))
 	}
@@ -165,9 +168,9 @@ func (s *Sigmoid) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(gradOut *Tensor) *Tensor {
-	in := gradOut.Clone()
-	for i := range in.Data {
-		in.Data[i] *= s.out[i] * (1 - s.out[i])
+	in := ensure(&s.gradIn, gradOut.Shape...)
+	for i, g := range gradOut.Data {
+		in.Data[i] = g * s.out[i] * (1 - s.out[i])
 	}
 	return in
 }
@@ -177,7 +180,8 @@ func (*Sigmoid) Params() []*Param { return nil }
 
 // Flatten collapses all axes after the batch axis.
 type Flatten struct {
-	inShape []int
+	inShape          []int
+	outView, gradInV *Tensor
 }
 
 // Name implements Layer.
@@ -187,12 +191,12 @@ func (*Flatten) Name() string { return "flatten" }
 func (f *Flatten) Forward(x *Tensor) *Tensor {
 	f.inShape = append(f.inShape[:0], x.Shape...)
 	batch := x.Shape[0]
-	return x.Reshape(batch, len(x.Data)/batch)
+	return viewInto(&f.outView, x, batch, len(x.Data)/batch)
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(gradOut *Tensor) *Tensor {
-	return gradOut.Reshape(f.inShape...)
+	return viewInto(&f.gradInV, gradOut, f.inShape...)
 }
 
 // Params implements Layer.

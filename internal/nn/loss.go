@@ -28,6 +28,7 @@ type SoftmaxCrossEntropy struct {
 	classes int
 	shape   []int
 	counted int
+	grad    *Tensor
 }
 
 // Name implements Loss.
@@ -84,7 +85,7 @@ func (s *SoftmaxCrossEntropy) Forward(y *Tensor, targets []int) float64 {
 
 // Backward implements Loss.
 func (s *SoftmaxCrossEntropy) Backward() *Tensor {
-	grad := NewTensor(s.shape...)
+	grad := ensure(&s.grad, s.shape...)
 	if s.counted == 0 {
 		return grad
 	}
@@ -114,6 +115,7 @@ func Perplexity(meanXent float64) float64 { return math.Exp(meanXent) }
 type MSE struct {
 	y      *Tensor
 	values []float64
+	grad   *Tensor
 }
 
 // Name implements Loss.
@@ -140,7 +142,7 @@ func (m *MSE) Forward(y *Tensor, _ []int) float64 {
 
 // Backward implements Loss.
 func (m *MSE) Backward() *Tensor {
-	grad := NewTensor(m.y.Shape...)
+	grad := ensure(&m.grad, m.y.Shape...)
 	inv := 2.0 / float64(m.y.Len())
 	for i, v := range m.y.Data {
 		grad.Data[i] = (v - m.values[i]) * inv

@@ -14,8 +14,10 @@ type SimpleRNN struct {
 	Wh         *Param // [H, H]
 	B          *Param // [H]
 
-	x  *Tensor
-	hs []float64 // cached hidden states, [B, T, H]
+	x           *Tensor
+	hs          []float64 // cached hidden states, [B, T, H]
+	out, gradIn *Tensor
+	dhNext, da  []float64 // BPTT scratch
 }
 
 // NewSimpleRNN creates the recurrence with Glorot init.
@@ -42,9 +44,9 @@ func (r *SimpleRNN) Forward(x *Tensor) *Tensor {
 	}
 	r.x = x
 	batch, T, H := x.Shape[0], x.Shape[1], r.Hidden
-	out := NewTensor(batch, T, H)
+	out := ensure(&r.out, batch, T, H)
 	for b := 0; b < batch; b++ {
-		prev := make([]float64, H)
+		var prev []float64
 		for t := 0; t < T; t++ {
 			xRow := x.Data[(b*T+t)*r.In : (b*T+t+1)*r.In]
 			hRow := out.Data[(b*T+t)*H : (b*T+t+1)*H]
@@ -81,12 +83,12 @@ func (r *SimpleRNN) Forward(x *Tensor) *Tensor {
 func (r *SimpleRNN) Backward(gradOut *Tensor) *Tensor {
 	x := r.x
 	batch, T, H := x.Shape[0], x.Shape[1], r.Hidden
-	gradIn := NewTensor(batch, T, r.In)
+	gradIn := ensure(&r.gradIn, batch, T, r.In)
 	for b := 0; b < batch; b++ {
-		dhNext := make([]float64, H)
+		dhNext := scratch(&r.dhNext, H)
 		for t := T - 1; t >= 0; t-- {
 			h := r.hs[(b*T+t)*H : (b*T+t+1)*H]
-			da := make([]float64, H)
+			da := scratch(&r.da, H)
 			for j := 0; j < H; j++ {
 				dh := gradOut.Data[(b*T+t)*H+j] + dhNext[j]
 				da[j] = dh * (1 - h[j]*h[j])
@@ -142,6 +144,10 @@ type LSTM struct {
 	hs    []float64 // [B, T, H] hidden states
 	cs    []float64 // [B, T, H] cell states
 	gates []float64 // [B, T, 4H] post-nonlinearity gate values
+
+	out, gradIn          *Tensor
+	aBuf, daBuf          []float64 // gate pre-activation / BPTT scratch
+	dhNextBuf, dcNextBuf []float64
 }
 
 // NewLSTM creates the cell with Glorot init and forget-gate bias 1 (the
@@ -175,11 +181,11 @@ func (l *LSTM) Forward(x *Tensor) *Tensor {
 	l.x = x
 	batch, T, H := x.Shape[0], x.Shape[1], l.Hidden
 	H4 := 4 * H
-	out := NewTensor(batch, T, H)
+	out := ensure(&l.out, batch, T, H)
 	l.hs = out.Data
-	l.cs = make([]float64, batch*T*H)
-	l.gates = make([]float64, batch*T*H4)
-	a := make([]float64, H4)
+	l.cs = scratch(&l.cs, batch*T*H)
+	l.gates = scratch(&l.gates, batch*T*H4)
+	a := scratch(&l.aBuf, H4)
 	for b := 0; b < batch; b++ {
 		var hPrev, cPrev []float64
 		for t := 0; t < T; t++ {
@@ -232,11 +238,11 @@ func (l *LSTM) Backward(gradOut *Tensor) *Tensor {
 	x := l.x
 	batch, T, H := x.Shape[0], x.Shape[1], l.Hidden
 	H4 := 4 * H
-	gradIn := NewTensor(batch, T, l.In)
-	da := make([]float64, H4)
+	gradIn := ensure(&l.gradIn, batch, T, l.In)
+	da := scratch(&l.daBuf, H4)
 	for b := 0; b < batch; b++ {
-		dhNext := make([]float64, H)
-		dcNext := make([]float64, H)
+		dhNext := scratch(&l.dhNextBuf, H)
+		dcNext := scratch(&l.dcNextBuf, H)
 		for t := T - 1; t >= 0; t-- {
 			gate := l.gates[(b*T+t)*H4 : (b*T+t+1)*H4]
 			c := l.cs[(b*T+t)*H : (b*T+t+1)*H]

@@ -25,7 +25,11 @@ func Volume(shape []int) int {
 	v := 1
 	for _, s := range shape {
 		if s < 0 {
-			panic(fmt.Sprintf("nn: negative dimension %v", shape))
+			// The copy keeps the panic message intact without making the
+			// shape parameter escape: Volume sits on the allocation-free
+			// hot path of every layer's ensure call, where a heap-escaping
+			// variadic slice would cost one allocation per layer per pass.
+			panic(fmt.Sprintf("nn: negative dimension %v", append([]int(nil), shape...)))
 		}
 		v *= s
 	}
@@ -52,6 +56,64 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		panic(fmt.Sprintf("nn: reshape %v -> %v changes volume", t.Shape, shape))
 	}
 	return &Tensor{Shape: shape, Data: t.Data}
+}
+
+// ensure returns the cached tensor resized to shape with zeroed storage —
+// the steady-state replacement for NewTensor inside layer Forward and
+// Backward passes. Each layer owns its output and input-gradient buffers,
+// so once batch shapes stabilise a full forward/backward allocates
+// nothing. Callers get NewTensor semantics (zeroed data) with recycled
+// backing arrays; the previous pass's result becomes invalid, which is
+// safe because training consumes activations within the step that
+// produced them.
+func ensure(cache **Tensor, shape ...int) *Tensor {
+	n := Volume(shape)
+	t := *cache
+	if t == nil {
+		t = &Tensor{}
+		*cache = t
+	}
+	if cap(t.Data) < n {
+		t.Data = make([]float64, n)
+	} else {
+		t.Data = t.Data[:n]
+		clear(t.Data)
+	}
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
+// scratch returns a zeroed []float64 of length n backed by *buf, growing
+// it as needed — the slice counterpart of ensure for recurrence state and
+// gate caches.
+func scratch(buf *[]float64, n int) []float64 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	*buf = s
+	return s
+}
+
+// viewInto reshapes src into the cached view tensor without copying —
+// the zero-allocation counterpart of Reshape for layers that only
+// re-interpret shapes (Flatten, TimeDistributed).
+func viewInto(cache **Tensor, src *Tensor, shape ...int) *Tensor {
+	if Volume(shape) != len(src.Data) {
+		// Copied for the same no-escape reason as in Volume.
+		panic(fmt.Sprintf("nn: reshape %v -> %v changes volume", src.Shape, append([]int(nil), shape...)))
+	}
+	t := *cache
+	if t == nil {
+		t = &Tensor{}
+		*cache = t
+	}
+	t.Data = src.Data
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
 }
 
 // Param is a trainable parameter: weights plus accumulated gradient.

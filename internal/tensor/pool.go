@@ -1,0 +1,38 @@
+package tensor
+
+// Pool is a free-list arena for Sparse vectors, for call sites that
+// need a variable number of live Sparse values per step (fan-out over
+// shards, speculative selections) rather than the fixed per-owner
+// scratch the current pipeline stages get away with: the in-repo chunk
+// decode and aggregation paths each hold exactly one reused Sparse, so
+// they recycle a plain field and do not go through a Pool.
+//
+// Pool is deliberately not concurrency-safe: each owner holds one
+// (matching the one-compressor-per-worker ownership model), which keeps
+// Get/Put free of synchronization on the hot path. The zero value is
+// ready to use.
+type Pool struct {
+	free []*Sparse
+}
+
+// Get returns an empty Sparse of the given dimension, reusing pooled
+// storage when available.
+func (p *Pool) Get(dim int) *Sparse {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		s.Reset(dim)
+		return s
+	}
+	return &Sparse{Dim: dim}
+}
+
+// Put returns s to the pool for a later Get. s must not be used by the
+// caller afterwards; nil is ignored.
+func (p *Pool) Put(s *Sparse) {
+	if s == nil {
+		return
+	}
+	p.free = append(p.free, s)
+}

@@ -5,6 +5,19 @@ import (
 	"sort"
 )
 
+// Selector carries the scratch of the radix top-k selection — the 64K
+// first-digit histogram, the candidate-bit buffer, the quickselect |g|
+// copy for small inputs and the cutoff-tie side lists — so steady-state
+// selections allocate nothing. The zero value is ready; each compressor
+// instance owns one (Selector is not concurrency-safe).
+type Selector struct {
+	counts  []int
+	cands   []uint64
+	abs     []float64
+	tieIdx  []int32
+	tieVals []float64
+}
+
 // TopKSelect returns the indices and values of the k elements of g with
 // the largest absolute value, using an O(d) byte-wise radix select over
 // the IEEE-754 bit patterns to find the magnitude cutoff followed by a
@@ -13,39 +26,50 @@ import (
 // indices are ascending.
 //
 // This is the exact Top-k operator T_k of Definition 1 and the reference
-// against which every threshold estimator is judged.
+// against which every threshold estimator is judged. It allocates its
+// scratch per call; hot paths hold a Selector and use TopKInto.
 func TopKSelect(g []float64, k int) (idx []int32, vals []float64) {
-	d := len(g)
-	if k <= 0 || d == 0 {
+	var sel Selector
+	s := &Sparse{}
+	sel.TopKInto(s, g, k)
+	if s.NNZ() == 0 {
 		return nil, nil
 	}
+	return s.Idx, s.Vals
+}
+
+// TopKInto appends the exact top-k selection of g to dst (which the
+// caller typically Resets first), reusing the Selector's scratch. The
+// selection — cutoff, tie-breaking, output order — is identical to
+// TopKSelect's.
+func (sel *Selector) TopKInto(dst *Sparse, g []float64, k int) {
+	d := len(g)
+	if k <= 0 || d == 0 {
+		return
+	}
 	if k >= d {
-		idx = make([]int32, d)
-		vals = make([]float64, d)
+		dst.Grow(len(dst.Idx) + d)
 		for i, gi := range g {
-			idx[i] = int32(i)
-			vals[i] = gi
+			dst.Append(int32(i), gi)
 		}
-		return idx, vals
+		return
 	}
 
-	cutoff := RadixSelectAbsKth(g, k) // k-th largest magnitude
+	cutoff := sel.AbsKth(g, k) // k-th largest magnitude
 
-	idx = make([]int32, 0, k)
-	vals = make([]float64, 0, k)
+	dst.Grow(len(dst.Idx) + k)
+	base := len(dst.Idx)
 	// One pass: keep everything strictly above the cutoff (guaranteed
 	// < k elements) and stash the cutoff-magnitude ties on the side, so
 	// the tie fill never needs a second scan of g. Magnitude compares run
 	// on the masked bit patterns (order-isomorphic for non-negative
 	// floats), keeping the loop branch-cheap.
 	cb := math.Float64bits(cutoff)
-	var tieIdx []int32
-	var tieVals []float64
+	tieIdx, tieVals := sel.tieIdx[:0], sel.tieVals[:0]
 	for i, gi := range g {
 		bits := math.Float64bits(gi) & absMask
 		if bits > cb {
-			idx = append(idx, int32(i))
-			vals = append(vals, gi)
+			dst.Append(int32(i), gi)
 		} else if bits == cb && len(tieIdx) < k {
 			// At most k ties can be kept (need = k - len(idx) <= k), so
 			// capping here bounds the temporaries at O(k) even when the
@@ -55,35 +79,33 @@ func TopKSelect(g []float64, k int) (idx []int32, vals []float64) {
 			tieVals = append(tieVals, gi)
 		}
 	}
-	// Fill the remainder with the lowest-index ties.
-	if need := k - len(idx); need > 0 {
-		idx, vals = mergeSortedByIndex(idx, vals, tieIdx[:need], tieVals[:need])
+	sel.tieIdx, sel.tieVals = tieIdx, tieVals
+	// Fill the remainder with the lowest-index ties, merging the two
+	// ascending lists in place from the back.
+	if need := k - (len(dst.Idx) - base); need > 0 {
+		mergeTiesInPlace(dst, base, tieIdx[:need], tieVals[:need])
 	}
-	return idx, vals
 }
 
-// mergeSortedByIndex merges two (index, value) lists, each ascending by
-// index, into one ascending list.
-func mergeSortedByIndex(ai []int32, av []float64, bi []int32, bv []float64) ([]int32, []float64) {
-	outI := make([]int32, 0, len(ai)+len(bi))
-	outV := make([]float64, 0, len(av)+len(bv))
-	i, j := 0, 0
-	for i < len(ai) && j < len(bi) {
-		if ai[i] < bi[j] {
-			outI = append(outI, ai[i])
-			outV = append(outV, av[i])
-			i++
+// mergeTiesInPlace merges the ascending tie list into dst[base:], itself
+// ascending, walking backwards so no temporary output list is needed.
+func mergeTiesInPlace(dst *Sparse, base int, tieIdx []int32, tieVals []float64) {
+	na := len(dst.Idx) - base
+	nb := len(tieIdx)
+	dst.Grow(base + na + nb)
+	dst.Idx = dst.Idx[:base+na+nb]
+	dst.Vals = dst.Vals[:base+na+nb]
+	i, j, w := base+na-1, nb-1, base+na+nb-1
+	for j >= 0 {
+		if i >= base && dst.Idx[i] > tieIdx[j] {
+			dst.Idx[w], dst.Vals[w] = dst.Idx[i], dst.Vals[i]
+			i--
 		} else {
-			outI = append(outI, bi[j])
-			outV = append(outV, bv[j])
-			j++
+			dst.Idx[w], dst.Vals[w] = tieIdx[j], tieVals[j]
+			j--
 		}
+		w--
 	}
-	outI = append(outI, ai[i:]...)
-	outV = append(outV, av[i:]...)
-	outI = append(outI, bi[j:]...)
-	outV = append(outV, bv[j:]...)
-	return outI, outV
 }
 
 // QuickSelectKth returns the k-th largest value of xs (k is 1-based:
@@ -161,15 +183,23 @@ func TopKThreshold(g []float64, k int) float64 {
 const absMask = ^uint64(0) >> 1
 
 // RadixSelectAbsKth returns the k-th largest |g_i| (k is 1-based: k=1
-// returns the max magnitude) without modifying g. It runs a most-
+// returns the max magnitude) without modifying g, allocating fresh
+// scratch per call. Hot paths hold a Selector and use AbsKth.
+func RadixSelectAbsKth(g []float64, k int) float64 {
+	var sel Selector
+	return sel.AbsKth(g, k)
+}
+
+// AbsKth returns the k-th largest |g_i| (k is 1-based: k=1 returns the
+// max magnitude) without modifying g. It runs a most-
 // significant-byte-first radix select over the masked IEEE-754 bit
 // patterns: one counting pass over all of g, one gather of the candidate
 // bucket, then counting passes over geometrically shrinking candidate
-// sets. Unlike quickselect it is swap-free, allocation is bounded by the
-// first bucket's size, and the running time is O(d) worst case — on 1M-
-// element gradients it is ~5x faster than median-of-three quickselect.
+// sets. Unlike quickselect it is swap-free, scratch is reused across
+// calls, and the running time is O(d) worst case — on 1M-element
+// gradients it is ~5x faster than median-of-three quickselect.
 // It panics if k is out of range.
-func RadixSelectAbsKth(g []float64, k int) float64 {
+func (sel *Selector) AbsKth(g []float64, k int) float64 {
 	if k < 1 || k > len(g) {
 		panic("tensor: RadixSelectAbsKth k out of range")
 	}
@@ -177,10 +207,11 @@ func RadixSelectAbsKth(g []float64, k int) float64 {
 	// selection; quickselect on an |g| copy wins.
 	const radixMin = 1 << 14
 	if len(g) < radixMin {
-		abs := make([]float64, len(g))
-		for i, gi := range g {
+		abs := append(sel.abs[:0], g...)
+		for i, gi := range abs {
 			abs[i] = math.Abs(gi)
 		}
+		sel.abs = abs
 		return QuickSelectKth(abs, k)
 	}
 	// Level 0 counts the top 16 bits (sign cleared: the full 11-bit
@@ -188,12 +219,22 @@ func RadixSelectAbsKth(g []float64, k int) float64 {
 	// |g| copy. A byte-wide first digit is too coarse for gradients —
 	// heavy-tailed magnitudes concentrate within a few binades, which all
 	// share one top byte — while 16 bits splits every binade 32 ways.
-	counts := make([]int, 1<<16)
+	if sel.counts == nil {
+		sel.counts = make([]int, 1<<16)
+	}
+	counts := sel.counts
 	for _, gi := range g {
 		counts[(math.Float64bits(gi)&absMask)>>48]++
 	}
 	chosen, rem := pickBucket16(counts, k)
-	cands := make([]uint64, 0, counts[chosen])
+	bucketLen := counts[chosen]
+	// The histogram is cleared before the next phase so the Selector is
+	// reusable; a 512 KiB memclr is noise next to the counting pass.
+	clear(counts)
+	if cap(sel.cands) < bucketLen {
+		sel.cands = make([]uint64, 0, bucketLen)
+	}
+	cands := sel.cands[:0]
 	for _, gi := range g {
 		bits := math.Float64bits(gi) & absMask
 		if bits>>48 == chosen {
@@ -219,7 +260,9 @@ func RadixSelectAbsKth(g []float64, k int) float64 {
 	}
 	// Either one candidate remains or all surviving candidates share
 	// every byte and are equal.
-	return math.Float64frombits(cands[0])
+	kth := math.Float64frombits(cands[0])
+	sel.cands = cands[:0]
+	return kth
 }
 
 // pickBucket walks bucket counts from high byte value to low and returns

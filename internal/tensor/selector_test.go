@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSelectorMatchesTopKSelect cross-checks the scratch-reusing
+// Selector against the allocating reference on a mix of sizes (spanning
+// the quickselect/radix crossover), k values, and tie-heavy inputs —
+// including reuse of one Selector across different distributions, which
+// is exactly how per-worker compressors drive it.
+func TestSelectorMatchesTopKSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sel Selector
+	dims := []int{1, 5, 100, 1 << 10, 1 << 14, 1<<14 + 3, 40000}
+	for trial := 0; trial < 20; trial++ {
+		d := dims[trial%len(dims)]
+		g := make([]float64, d)
+		switch trial % 3 {
+		case 0:
+			for i := range g {
+				g[i] = rng.NormFloat64()
+			}
+		case 1: // heavy ties: few distinct magnitudes
+			for i := range g {
+				g[i] = float64(rng.Intn(4)) * (1 - 2*float64(rng.Intn(2)))
+			}
+		case 2: // mostly zero
+			for i := range g {
+				if rng.Intn(10) == 0 {
+					g[i] = rng.ExpFloat64()
+				}
+			}
+		}
+		for _, k := range []int{1, 2, d / 7, d - 1, d, d + 5} {
+			if k < 1 {
+				continue
+			}
+			wantIdx, wantVals := TopKSelect(g, k)
+			dst := &Sparse{}
+			dst.Reset(d)
+			sel.TopKInto(dst, g, k)
+			if len(dst.Idx) != len(wantIdx) {
+				t.Fatalf("d=%d k=%d: got %d elements, want %d", d, k, len(dst.Idx), len(wantIdx))
+			}
+			for i := range wantIdx {
+				if dst.Idx[i] != wantIdx[i] || math.Float64bits(dst.Vals[i]) != math.Float64bits(wantVals[i]) {
+					t.Fatalf("d=%d k=%d element %d: got (%d,%v), want (%d,%v)",
+						d, k, i, dst.Idx[i], dst.Vals[i], wantIdx[i], wantVals[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSelectorAbsKthMatchesReference checks the reusable radix select
+// against the package-level function across the size crossover.
+func TestSelectorAbsKthMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sel Selector
+	for _, d := range []int{3, 1000, 1 << 14, 50000} {
+		g := make([]float64, d)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		for _, k := range []int{1, d / 3, d} {
+			if got, want := sel.AbsKth(g, k), RadixSelectAbsKth(g, k); got != want {
+				t.Fatalf("d=%d k=%d: %v != %v", d, k, got, want)
+			}
+		}
+	}
+}
+
+// TestSelectorZeroAllocSteadyState guards the whole point of the type.
+func TestSelectorZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := make([]float64, 1<<15)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	var sel Selector
+	dst := &Sparse{}
+	k := 500
+	for i := 0; i < 10; i++ {
+		dst.Reset(len(g))
+		sel.TopKInto(dst, g, k)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		dst.Reset(len(g))
+		sel.TopKInto(dst, g, k)
+	})
+	if allocs > 0 {
+		t.Errorf("TopKInto allocates %v objects/op in steady state, want 0", allocs)
+	}
+}

@@ -17,20 +17,72 @@ type Sparse struct {
 // NewSparse constructs a Sparse after validating the invariants: equal
 // index/value lengths, indices in [0, dim) and strictly ascending.
 func NewSparse(dim int, idx []int32, vals []float64) (*Sparse, error) {
-	if len(idx) != len(vals) {
-		return nil, fmt.Errorf("tensor: index/value length mismatch: %d vs %d", len(idx), len(vals))
+	s := &Sparse{Dim: dim, Idx: idx, Vals: vals}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Validate checks the Sparse invariants without allocating: equal
+// index/value lengths, indices in [0, Dim) and strictly ascending. It is
+// what NewSparse enforces, exposed so decoders filling reused storage can
+// re-establish the contract.
+func (s *Sparse) Validate() error {
+	if len(s.Idx) != len(s.Vals) {
+		return fmt.Errorf("tensor: index/value length mismatch: %d vs %d", len(s.Idx), len(s.Vals))
 	}
 	prev := int32(-1)
-	for _, i := range idx {
+	for _, i := range s.Idx {
 		if i <= prev {
-			return nil, fmt.Errorf("tensor: indices not strictly ascending at %d", i)
+			return fmt.Errorf("tensor: indices not strictly ascending at %d", i)
 		}
-		if int(i) >= dim {
-			return nil, fmt.Errorf("tensor: index %d out of range for dim %d", i, dim)
+		if int(i) >= s.Dim {
+			return fmt.Errorf("tensor: index %d out of range for dim %d", i, s.Dim)
 		}
 		prev = i
 	}
-	return &Sparse{Dim: dim, Idx: idx, Vals: vals}, nil
+	return nil
+}
+
+// Reset prepares s for reuse as an empty dim-dimensional vector, keeping
+// the index/value storage capacity. It is the entry point of every
+// *Into fast path: compressors and decoders Reset then append, so
+// steady-state iterations recycle the same backing arrays.
+func (s *Sparse) Reset(dim int) {
+	s.Dim = dim
+	s.Idx = s.Idx[:0]
+	s.Vals = s.Vals[:0]
+}
+
+// Append adds one (index, value) pair. Callers must append in strictly
+// ascending index order to preserve the Sparse invariant; Append does not
+// re-check it (use Validate after bulk fills of untrusted data).
+func (s *Sparse) Append(i int32, v float64) {
+	s.Idx = append(s.Idx, i)
+	s.Vals = append(s.Vals, v)
+}
+
+// Grow ensures capacity for at least n stored elements, preserving
+// current contents.
+func (s *Sparse) Grow(n int) {
+	if cap(s.Idx) < n {
+		idx := make([]int32, len(s.Idx), n)
+		copy(idx, s.Idx)
+		s.Idx = idx
+	}
+	if cap(s.Vals) < n {
+		vals := make([]float64, len(s.Vals), n)
+		copy(vals, s.Vals)
+		s.Vals = vals
+	}
+}
+
+// CopyFrom makes s an independent copy of o, reusing s's storage.
+func (s *Sparse) CopyFrom(o *Sparse) {
+	s.Dim = o.Dim
+	s.Idx = append(s.Idx[:0], o.Idx...)
+	s.Vals = append(s.Vals[:0], o.Vals...)
 }
 
 // NNZ returns the number of stored non-zeros.
