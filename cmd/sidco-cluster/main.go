@@ -21,6 +21,10 @@
 //     monolithic schedule on the virtual clock — homogeneous and
 //     straggler scenarios, with exact traffic cross-checks and
 //     bit-identity of the chunked aggregate.
+//  6. Loopback study: the same training run over in-process channels,
+//     loopback TCP sockets (engine) and the per-rank node topology of
+//     cmd/sidco-node — four bit-identical loss columns plus an exact
+//     traffic cross-check over real sockets.
 //
 // Usage:
 //
@@ -53,7 +57,7 @@ func main() {
 	dim := flag.Int("dim", 1<<16, "gradient dimension for the traffic section")
 	straggler := flag.Float64("straggler", 4, "compute slowdown factor of the last node in section 3")
 	seed := flag.Int64("seed", 1, "random seed")
-	section := flag.Int("section", 0, "run a single section 1-5 (0: all)")
+	section := flag.Int("section", 0, "run a single section 1-6 (0: all)")
 	flag.Parse()
 
 	run := func(n int, f func() error) {
@@ -77,6 +81,15 @@ func main() {
 			Workers:   *workers,
 			Straggler: *straggler,
 			Seed:      *seed,
+		})
+	})
+	run(6, func() error {
+		return harness.LoopbackStudy(os.Stdout, harness.LoopbackStudyConfig{
+			Workers:    *workers,
+			Iters:      *iters,
+			Compressor: *comp,
+			Delta:      *delta,
+			Seed:       *seed,
 		})
 	})
 }

@@ -1,0 +1,418 @@
+// Command sidco-node runs ONE cluster node as an OS process: the
+// multi-process deployment of the message-passing collective layer.
+// Every process gets the same host list and its own rank; rank r trains
+// global worker r through a Workers=1 dist.Trainer whose gradient
+// exchange is a cluster.Node over a TCPTransport, so the ring all-reduce
+// / all-gather / parameter-server schedules — including chunked
+// pipelining — execute over real sockets. Over the lossless wire format
+// the deployment reproduces the single-process in-process trainer's
+// global loss sequence bit-for-bit, which -check asserts per process.
+//
+// Host list: a comma-separated -hosts value or a -hostfile with one
+// host:port per line; entry i is node i's listen address. Under
+// -collective ps the last entry is the parameter-server node (workers =
+// len(hosts)-1), which runs the serving loop instead of training.
+//
+// Usage:
+//
+//	sidco-node -launch 4 -check             # quickstart: 4 worker processes over loopback, bit-identity gated
+//	sidco-node -launch 4 -collective ps -chunks 0 -compressor topk
+//	sidco-node -node 0 -hosts host0:7000,host1:7000,host2:7000 -iters 8
+//	sidco-node -node 2 -hostfile hosts.txt -collective allgather -chunks 4 -check
+//
+// -launch spawns the whole deployment on this machine (kernel-assigned
+// loopback ports) and exits non-zero if any process fails its checks —
+// the CI quick gate runs exactly that.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compress"
+	"repro/internal/dist"
+	"repro/internal/harness"
+	"repro/internal/netsim"
+	"repro/internal/nn"
+)
+
+type options struct {
+	node          int
+	hosts         string
+	hostfile      string
+	launch        int
+	collective    string
+	chunks        int
+	iters         int
+	compressor    string
+	delta         float64
+	seed          int64
+	check         bool
+	dialTimeout   time.Duration
+	launchTimeout time.Duration
+}
+
+func main() {
+	var opt options
+	flag.IntVar(&opt.node, "node", -1, "this process's rank in the host list (0-based)")
+	flag.StringVar(&opt.hosts, "hosts", "", "comma-separated host:port list, entry i = node i")
+	flag.StringVar(&opt.hostfile, "hostfile", "", "file with one host:port per line (alternative to -hosts)")
+	flag.IntVar(&opt.launch, "launch", 0, "spawn this many worker processes over loopback instead of being one node")
+	flag.StringVar(&opt.collective, "collective", "allgather", "collective schedule: auto, ring, allgather or ps")
+	flag.IntVar(&opt.chunks, "chunks", 0, "chunked-pipeline setting for the all-gather (0/1: monolithic)")
+	flag.IntVar(&opt.iters, "iters", 6, "training iterations")
+	flag.StringVar(&opt.compressor, "compressor", "sidco-e", "registry compressor (none: dense training)")
+	flag.Float64Var(&opt.delta, "delta", 0.05, "compression ratio k/d")
+	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
+	flag.BoolVar(&opt.check, "check", false, "verify global losses bit-identical to the in-process trainer and per-node traffic against the collective formulas")
+	flag.DurationVar(&opt.dialTimeout, "dial-timeout", 10*time.Second, "per-link lazy-dial retry budget (peers may start later)")
+	flag.DurationVar(&opt.launchTimeout, "launch-timeout", 2*time.Minute, "watchdog for -launch: kill the deployment and fail if it has not finished by then")
+	flag.Parse()
+
+	var err error
+	switch {
+	case opt.launch > 0:
+		err = runLaunch(opt)
+	case opt.node >= 0:
+		err = runNode(opt)
+	default:
+		err = fmt.Errorf("pass -launch N for a loopback deployment, or -node R -hosts ... to be one node (see -h)")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sidco-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseCollective(name string) (netsim.Collective, error) {
+	switch name {
+	case "auto":
+		return netsim.CollectiveAuto, nil
+	case "ring":
+		return netsim.CollectiveRing, nil
+	case "allgather":
+		return netsim.CollectiveAllGather, nil
+	case "ps":
+		return netsim.CollectivePS, nil
+	default:
+		return 0, fmt.Errorf("unknown collective %q (want auto, ring, allgather or ps)", name)
+	}
+}
+
+func parseHosts(opt options) ([]string, error) {
+	if opt.hosts != "" && opt.hostfile != "" {
+		return nil, fmt.Errorf("pass -hosts or -hostfile, not both")
+	}
+	raw := opt.hosts
+	if opt.hostfile != "" {
+		data, err := os.ReadFile(opt.hostfile)
+		if err != nil {
+			return nil, err
+		}
+		raw = strings.ReplaceAll(strings.TrimSpace(string(data)), "\n", ",")
+	}
+	var hosts []string
+	for _, h := range strings.Split(raw, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("empty host list")
+	}
+	return hosts, nil
+}
+
+// trainerFor builds the demo workload (the same model and batch stream
+// as cmd/sidco-cluster) at any (workers, firstWorker) split, so N
+// single-worker processes draw exactly the batches of one N-worker
+// in-process trainer.
+func trainerFor(opt options, workers, firstWorker int, ex dist.GradientExchange) (*dist.Trainer, error) {
+	rng := rand.New(rand.NewSource(opt.seed))
+	model := nn.NewSequential(
+		nn.NewDense("d1", 16, 12, rng),
+		&nn.ReLU{},
+		nn.NewDense("d2", 12, 4, rng),
+	)
+	var factory func() compress.Compressor
+	if opt.compressor != "" && opt.compressor != "none" {
+		factory = harness.Factory(opt.compressor, opt.seed)
+	}
+	return dist.NewTrainer(dist.TrainerConfig{
+		Workers:     workers,
+		FirstWorker: firstWorker,
+		Model:       model,
+		Loss:        &nn.SoftmaxCrossEntropy{},
+		Opt:         &nn.SGD{LR: 0.05},
+		Batch: func(worker int, rng *rand.Rand) (*nn.Tensor, []int) {
+			x := nn.NewTensor(8, 16)
+			targets := make([]int, 8)
+			for i := range targets {
+				targets[i] = rng.Intn(4)
+				for j := 0; j < 16; j++ {
+					x.Data[i*16+j] = rng.NormFloat64() + float64(targets[i])
+				}
+			}
+			return x, targets
+		},
+		NewCompressor: factory,
+		Delta:         opt.delta,
+		EC:            factory != nil,
+		Seed:          opt.seed,
+		Exchange:      ex,
+	})
+}
+
+// runNode is one process of the deployment: worker or parameter server.
+func runNode(opt options) error {
+	if opt.iters < 1 {
+		return fmt.Errorf("-iters %d, need >= 1", opt.iters)
+	}
+	coll, err := parseCollective(opt.collective)
+	if err != nil {
+		return err
+	}
+	hosts, err := parseHosts(opt)
+	if err != nil {
+		return err
+	}
+	workers := len(hosts)
+	if coll == netsim.CollectivePS {
+		workers--
+		if workers < 1 {
+			return fmt.Errorf("ps needs at least 2 hosts (workers + server), got %d", len(hosts))
+		}
+	}
+	if opt.node >= len(hosts) {
+		return fmt.Errorf("-node %d outside the %d-host list", opt.node, len(hosts))
+	}
+	tp, err := cluster.NewTCPTransport(cluster.TCPConfig{
+		Addrs:       hosts,
+		Local:       []int{opt.node},
+		DialTimeout: opt.dialTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer tp.Close()
+	nd, err := cluster.NewNode(cluster.NodeConfig{
+		Workers:    workers,
+		Rank:       opt.node,
+		Collective: coll,
+		Chunks:     opt.chunks,
+		Transport:  tp,
+	})
+	if err != nil {
+		return err
+	}
+	if opt.node == workers { // parameter-server rank
+		if err := nd.Serve(opt.iters); err != nil {
+			return err
+		}
+		fmt.Printf("node %d (server): served %d rounds\n", opt.node, opt.iters)
+		return nil
+	}
+	tr, err := trainerFor(opt, 1, opt.node, nd)
+	if err != nil {
+		return err
+	}
+	losses := make([]float64, 0, opt.iters)
+	for it := 0; it < opt.iters; it++ {
+		local, err := tr.Step()
+		if err != nil {
+			return err
+		}
+		global, err := nd.MeanScalar(local)
+		if err != nil {
+			return err
+		}
+		losses = append(losses, global)
+	}
+	if opt.node == 0 {
+		printLosses(opt, coll, losses)
+	}
+	fmt.Printf("node %d: final global loss %.17g over %d iterations\n", opt.node, losses[len(losses)-1], opt.iters)
+	if opt.check {
+		return checkNodeRun(opt, coll, workers, nd, losses)
+	}
+	return nil
+}
+
+// printLosses renders rank 0's view of the run.
+func printLosses(opt options, coll netsim.Collective, losses []float64) {
+	tbl := harness.NewTable(
+		fmt.Sprintf("Multi-process run — %s over TCP, %s, N from host list, delta=%g: global loss per iteration",
+			coll, opt.compressor, opt.delta),
+		"iter", "global loss")
+	for i, l := range losses {
+		tbl.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%.17g", l))
+	}
+	tbl.Render(os.Stdout)
+}
+
+// checkNodeRun asserts this process saw exactly the run the in-process
+// trainer produces: bit-identical global losses (for the
+// order-preserving collectives over the lossless wire) and per-node
+// traffic matching the collective step formulas.
+func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.Node, losses []float64) error {
+	ref, err := trainerFor(opt, workers, 0, nil)
+	if err != nil {
+		return err
+	}
+	want, _, err := ref.Run(opt.iters)
+	if err != nil {
+		return err
+	}
+	resolved := coll
+	if resolved == netsim.CollectiveAuto {
+		if opt.compressor != "" && opt.compressor != "none" {
+			resolved = netsim.CollectiveAllGather
+		} else {
+			resolved = netsim.CollectiveRing
+		}
+	}
+	bitwise := resolved == netsim.CollectiveAllGather || resolved == netsim.CollectivePS
+	for i := range want {
+		if bitwise && losses[i] != want[i] {
+			return fmt.Errorf("check: loss[%d] = %.17g, in-process trainer says %.17g (must be bit-identical)", i, losses[i], want[i])
+		}
+		if !bitwise && math.Abs(losses[i]-want[i]) > 1e-9 {
+			return fmt.Errorf("check: loss[%d] = %.17g, in-process trainer says %.17g (outside ring tolerance)", i, losses[i], want[i])
+		}
+	}
+	var wantMsgs int
+	switch resolved {
+	case netsim.CollectiveAllGather:
+		wantMsgs = opt.iters * netsim.ChunkedAllGatherMessages(workers, opt.chunks)
+	case netsim.CollectiveRing:
+		wantMsgs = opt.iters * netsim.RingMessages(workers)
+	case netsim.CollectivePS:
+		wantMsgs = opt.iters
+	}
+	if msgs, _ := nd.Transport().Totals(); msgs != wantMsgs {
+		return fmt.Errorf("check: sent %d gradient messages, formula says %d", msgs, wantMsgs)
+	}
+	if msgs, _ := nd.Transport().RecvTotals(); msgs != wantMsgs {
+		return fmt.Errorf("check: received %d gradient messages, formula says %d", msgs, wantMsgs)
+	}
+	mode := "bit-identical to in-process"
+	if !bitwise {
+		mode = "within ring tolerance of in-process"
+	}
+	fmt.Printf("node %d: check passed — losses %s, traffic exact (%d msgs)\n", opt.node, mode, wantMsgs)
+	return nil
+}
+
+// runLaunch spawns the whole deployment on this machine: -launch N
+// worker processes (plus a server process under ps) over kernel-assigned
+// loopback ports, forwarding the workload flags to every child. The
+// first failing child takes the rest of the deployment down with it, and
+// a watchdog kills everything if the run overstays -launch-timeout — a
+// hung deployment fails fast instead of pinning CI until its global
+// timeout.
+func runLaunch(opt options) error {
+	if opt.iters < 1 {
+		return fmt.Errorf("-iters %d, need >= 1", opt.iters)
+	}
+	coll, err := parseCollective(opt.collective)
+	if err != nil {
+		return err
+	}
+	nodes := cluster.NodeCount(opt.launch, coll)
+	addrs, err := cluster.FreeLoopbackAddrs(nodes)
+	if err != nil {
+		return err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("launching %d processes over loopback (%s)\n", nodes, strings.Join(addrs, ", "))
+	type child struct {
+		rank int
+		cmd  *exec.Cmd
+		out  bytes.Buffer
+		err  error
+	}
+	children := make([]*child, nodes)
+	exits := make(chan *child, nodes)
+	for rank := 0; rank < nodes; rank++ {
+		args := []string{
+			"-node", fmt.Sprint(rank),
+			"-hosts", strings.Join(addrs, ","),
+			"-collective", opt.collective,
+			"-chunks", fmt.Sprint(opt.chunks),
+			"-iters", fmt.Sprint(opt.iters),
+			"-compressor", opt.compressor,
+			"-delta", fmt.Sprint(opt.delta),
+			"-seed", fmt.Sprint(opt.seed),
+			"-dial-timeout", opt.dialTimeout.String(),
+		}
+		if opt.check {
+			args = append(args, "-check")
+		}
+		c := &child{rank: rank, cmd: exec.Command(exe, args...)}
+		c.cmd.Stdout = &c.out
+		c.cmd.Stderr = &c.out
+		if err := c.cmd.Start(); err != nil {
+			for _, prev := range children[:rank] {
+				prev.cmd.Process.Kill()
+			}
+			return fmt.Errorf("starting node %d: %w", rank, err)
+		}
+		children[rank] = c
+	}
+	for _, c := range children {
+		go func(c *child) {
+			c.err = c.cmd.Wait()
+			exits <- c
+		}(c)
+	}
+	killAll := func() {
+		for _, c := range children {
+			c.cmd.Process.Kill()
+		}
+	}
+	watchdog := time.After(opt.launchTimeout)
+	failed, timedOut := 0, false
+	for collected := 0; collected < nodes; {
+		select {
+		case c := <-exits:
+			collected++
+			if c.err != nil {
+				failed++
+				// One dead node stalls its peers mid-schedule; take the
+				// deployment down so every Wait returns promptly.
+				killAll()
+			}
+		case <-watchdog:
+			timedOut = true
+			killAll()
+			watchdog = nil // keep draining exits; children are dying now
+		}
+	}
+	for _, c := range children {
+		if c.rank == 0 || c.err != nil {
+			os.Stdout.Write(c.out.Bytes())
+		}
+		if c.err != nil {
+			fmt.Fprintf(os.Stderr, "node %d exited with %v\n", c.rank, c.err)
+		}
+	}
+	if timedOut {
+		return fmt.Errorf("deployment killed after %v watchdog", opt.launchTimeout)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d processes failed", failed, nodes)
+	}
+	fmt.Printf("launch: all %d processes finished cleanly\n", nodes)
+	return nil
+}

@@ -42,7 +42,10 @@ type Config struct {
 	// whatever the monolithic selection placed in each range — the global
 	// k-budget partitioned, never a per-chunk re-quota — so chunked
 	// aggregates are bit-identical to monolithic ones for any compressor.
-	// 0 or 1 keeps the monolithic schedule.
+	// 0 or 1 keeps the monolithic schedule. Valid with CollectiveAllGather
+	// and with CollectiveAuto (which resolves to all-gather on every
+	// sparse exchange; an Auto exchange that resolves to the dense ring
+	// rejects Chunks > 1 at that point).
 	Chunks int
 	// CompressSec charges this much compression time per exchange to
 	// every worker's clock, split evenly across chunks. Unlike
@@ -102,6 +105,42 @@ func (w Wire) Format() (encoding.Format, error) {
 	}
 }
 
+// validateChunks checks the chunked-mode configuration against the
+// selected collective, shared by Engine and Node construction. Auto is
+// accepted: it resolves to the all-gather on every sparse exchange, and
+// the per-exchange resolution re-validates if a dense round slips in.
+func validateChunks(chunks int, c netsim.Collective) error {
+	if chunks < 0 {
+		return fmt.Errorf("cluster: Chunks = %d, need >= 0", chunks)
+	}
+	if chunks > 1 && c != netsim.CollectiveAllGather && c != netsim.CollectiveAuto {
+		// Ring all-reduce is already d/N-chunked by construction and the
+		// parameter server has no ring to pipeline against; the chunked
+		// mode is defined for the sparse all-gather only.
+		return fmt.Errorf("cluster: Chunks = %d requires the all-gather collective, got %v", chunks, c)
+	}
+	return nil
+}
+
+// resolveCollective resolves Auto against the round's inputs (sparse:
+// all-gather, dense: ring) and re-validates the chunked mode against the
+// outcome. Resolution happens once per round, never per node — per-node
+// resolution could diverge on a mixed dense/sparse input set and
+// deadlock the schedule.
+func resolveCollective(c netsim.Collective, sparse bool, chunks int) (netsim.Collective, error) {
+	if c == netsim.CollectiveAuto {
+		if sparse {
+			c = netsim.CollectiveAllGather
+		} else {
+			c = netsim.CollectiveRing
+		}
+	}
+	if chunks > 1 && c != netsim.CollectiveAllGather {
+		return 0, fmt.Errorf("cluster: Chunks = %d, but this exchange resolved to %v (dense inputs under Auto take the ring)", chunks, c)
+	}
+	return c, nil
+}
+
 // job is one node's share of a gradient exchange.
 type job struct {
 	step   int
@@ -122,31 +161,21 @@ type result struct {
 // collective as real message passing, and the aggregated mean lands in
 // the caller's buffer. Engine satisfies dist.GradientExchange, so it
 // plugs directly into dist.TrainerConfig.Exchange.
+//
+// Engine is the single-process deployment: all N nodes live in one
+// process and share one Transport (in-process channels by default, or a
+// TCPTransport hosting every node for loopback-socket runs). Node is the
+// one-node-per-process counterpart behind cmd/sidco-node.
 type Engine struct {
 	cfg     Config
-	format  encoding.Format // resolved from cfg.Format
-	tp      *Instrumented
-	server  int // server node id under PS, else -1
+	sched   sched
 	jobs    []chan job
 	results chan result
 	outs    [][]float64 // per-node aggregation buffers
 	scratch []nodeScratch
-	ident   []int32 // shared 0..dim-1 index ramp for dense-as-sparse views
+	ident   []int32 // shared 0..dim-1 ramp, aliased into every scratch
 	wg      sync.WaitGroup
 	closed  bool
-}
-
-// nodeScratch is one node goroutine's reusable pipeline storage: encode
-// buffers (one per chunk — a chunk's buffer stays pinned while it
-// circulates the ring, so chunks cannot share), the all-gather result
-// slots, the decode target and the zero-copy view headers.
-type nodeScratch struct {
-	enc    [][]byte
-	gather [][]byte
-	ready  []float64 // per-chunk compression completion (virtual time)
-	dec    tensor.Sparse
-	view   tensor.Sparse // chunk subrange of the local selection
-	full   tensor.Sparse // full-support view of a dense gradient
 }
 
 // New validates cfg, builds the transport and starts the node
@@ -164,14 +193,8 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Chunks < 0 {
-		return nil, fmt.Errorf("cluster: Chunks = %d, need >= 0", cfg.Chunks)
-	}
-	if cfg.Chunks > 1 && cfg.Collective != netsim.CollectiveAllGather {
-		// Ring all-reduce is already d/N-chunked by construction and the
-		// parameter server has no ring to pipeline against; the chunked
-		// mode is defined for the sparse all-gather only.
-		return nil, fmt.Errorf("cluster: Chunks = %d requires the all-gather collective, got %v", cfg.Chunks, cfg.Collective)
+	if err := validateChunks(cfg.Chunks, cfg.Collective); err != nil {
+		return nil, err
 	}
 	if cfg.CompressSec < 0 {
 		return nil, fmt.Errorf("cluster: CompressSec = %v, need >= 0", cfg.CompressSec)
@@ -188,11 +211,21 @@ func New(cfg Config) (*Engine, error) {
 	if inner.Nodes() < nodes {
 		return nil, fmt.Errorf("cluster: transport has %d nodes, need %d", inner.Nodes(), nodes)
 	}
+	server := -1
+	if cfg.Collective == netsim.CollectivePS {
+		server = cfg.Workers
+	}
 	e := &Engine{
-		cfg:     cfg,
-		format:  format,
-		tp:      NewInstrumented(inner, cfg.Scenario),
-		server:  -1,
+		cfg: cfg,
+		sched: sched{
+			workers:     cfg.Workers,
+			server:      server,
+			format:      format,
+			chunks:      cfg.Chunks,
+			computeSec:  cfg.ComputeSec,
+			compressSec: cfg.CompressSec,
+			tp:          NewInstrumented(inner, cfg.Scenario),
+		},
 		jobs:    make([]chan job, cfg.Workers),
 		results: make(chan result, nodes),
 		outs:    make([][]float64, cfg.Workers),
@@ -203,8 +236,7 @@ func New(cfg Config) (*Engine, error) {
 		e.wg.Add(1)
 		go e.workerLoop(w)
 	}
-	if cfg.Collective == netsim.CollectivePS {
-		e.server = cfg.Workers
+	if server >= 0 {
 		e.wg.Add(1)
 		go e.serverLoop()
 	}
@@ -213,7 +245,7 @@ func New(cfg Config) (*Engine, error) {
 
 // Transport exposes the instrumented transport for traffic and
 // virtual-time inspection.
-func (e *Engine) Transport() *Instrumented { return e.tp }
+func (e *Engine) Transport() *Instrumented { return e.sched.tp }
 
 // Close stops the node goroutines and closes the transport. The Engine
 // is not concurrency-safe: Exchange and Close must come from one
@@ -223,7 +255,7 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
-	err := e.tp.Close()
+	err := e.sched.tp.Close()
 	for _, ch := range e.jobs {
 		close(ch)
 	}
@@ -241,24 +273,24 @@ func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) err
 	if len(ins) != e.cfg.Workers {
 		return fmt.Errorf("cluster: %d inputs for %d workers", len(ins), e.cfg.Workers)
 	}
-	// Resolve Auto once for the whole round — per-node resolution could
-	// diverge on a mixed dense/sparse input set and deadlock the
-	// schedule.
-	coll := e.cfg.Collective
-	if coll == netsim.CollectiveAuto {
-		if ins[0].Sparse != nil {
-			coll = netsim.CollectiveAllGather
-		} else {
-			coll = netsim.CollectiveRing
-		}
+	coll, err := resolveCollective(e.cfg.Collective, ins[0].Sparse != nil, e.cfg.Chunks)
+	if err != nil {
+		return err
 	}
-	// The shared identity index ramp backs zero-copy dense-as-sparse
-	// views; it is grown here, before fan-out, so node goroutines only
-	// ever read it.
+	// Dense-as-sparse views all read the same identity index ramp: grown
+	// here, before fan-out, and aliased into every node's scratch, so the
+	// node goroutines never mutate it (localSparse's grow loop is a no-op
+	// once the shared ramp covers the dimension) and the engine pays for
+	// one ramp instead of one per worker.
 	if coll != netsim.CollectiveRing {
 		for _, in := range ins {
 			if in.Sparse == nil {
-				e.growIdent(len(agg))
+				for i := len(e.ident); i < len(agg); i++ {
+					e.ident = append(e.ident, int32(i))
+				}
+				for w := range e.scratch {
+					e.scratch[w].ident = e.ident
+				}
 				break
 			}
 		}
@@ -267,7 +299,7 @@ func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) err
 		e.jobs[w] <- job{step: step, sparse: in.Sparse, dense: in.Dense, dim: len(agg), coll: coll}
 	}
 	want := e.cfg.Workers
-	if e.server >= 0 {
+	if e.sched.server >= 0 {
 		want++ // the server also reports
 	}
 	var firstErr error
@@ -278,7 +310,7 @@ func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) err
 			// Peers may be blocked mid-schedule waiting on the failed
 			// node; closing the transport unblocks them so the round
 			// drains instead of deadlocking.
-			e.tp.Close()
+			e.sched.tp.Close()
 		}
 	}
 	if firstErr == nil && e.cfg.Verify {
@@ -306,266 +338,30 @@ func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) err
 func (e *Engine) workerLoop(w int) {
 	defer e.wg.Done()
 	for jb := range e.jobs[w] {
-		e.results <- result{node: w, err: e.runWorker(w, jb)}
-	}
-}
-
-func (e *Engine) runWorker(w int, jb job) error {
-	if len(e.outs[w]) != jb.dim {
-		e.outs[w] = make([]float64, jb.dim)
-	}
-	out := e.outs[w]
-	if e.cfg.ComputeSec > 0 {
-		e.tp.Compute(w, e.cfg.ComputeSec)
-	}
-	n := e.cfg.Workers
-	switch jb.coll {
-	case netsim.CollectiveRing:
-		// Dense in-ring reduction: start from the local dense gradient
-		// (densifying the sparse selection if the caller forced ring).
-		if jb.sparse != nil {
-			tensor.Zero(out)
-			jb.sparse.AddTo(out)
-		} else {
-			if len(jb.dense) != jb.dim {
-				return fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
-			}
-			copy(out, jb.dense)
+		if len(e.outs[w]) != jb.dim {
+			e.outs[w] = make([]float64, jb.dim)
 		}
-		if err := RingAllReduce(e.tp, w, n, out); err != nil {
-			return err
-		}
-		tensor.Scale(1/float64(n), out)
-		return nil
-
-	case netsim.CollectiveAllGather:
-		return e.runAllGather(w, jb, out)
-
-	case netsim.CollectivePS:
-		sc := &e.scratch[w]
-		s, err := e.localSparse(jb, sc)
-		if err != nil {
-			return err
-		}
-		sc.enc = growSlots(sc.enc, 1)
-		sc.enc[0], err = encoding.EncodeTo(sc.enc[0][:0], s, e.format)
-		if err != nil {
-			return err
-		}
-		reply, err := PSPushPull(e.tp, w, e.server, sc.enc[0])
-		if err != nil {
-			return err
-		}
-		if err := encoding.DecodeInto(&sc.dec, reply); err != nil {
-			return fmt.Errorf("decoding server reply: %w", err)
-		}
-		if sc.dec.Dim != jb.dim {
-			return fmt.Errorf("server reply has dim %d, want %d", sc.dec.Dim, jb.dim)
-		}
-		tensor.Zero(out)
-		sc.dec.AddTo(out)
-		return nil
+		e.results <- result{node: w, err: e.sched.runWorker(w, jb, &e.scratch[w], e.outs[w])}
 	}
-	return fmt.Errorf("unreachable collective")
-}
-
-// chunkCount resolves the configured chunking (0 or 1: monolithic).
-func (e *Engine) chunkCount() int {
-	if e.cfg.Chunks > 1 {
-		return e.cfg.Chunks
-	}
-	return 1
-}
-
-// runAllGather executes the (optionally chunked) sparse all-gather for
-// one node. The local selection is partitioned by index range into C
-// chunks — each chunk's element budget is exactly what the monolithic
-// selection placed in that range, so the global k-budget is preserved
-// without any per-chunk floor — and every chunk runs one all-gather of
-// encoded payloads. Compression time (CompressSec/C per chunk) and the
-// encode of chunk i+1 happen inside chunk i's pipeline overlap slot.
-//
-// Aggregation stays bit-identical to the monolithic schedule: chunks
-// partition the index space, and within each chunk contributions are
-// decoded and added in worker-index order — for every element the same
-// addition sequence as dist.InProcess over a lossless wire.
-func (e *Engine) runAllGather(w int, jb job, out []float64) error {
-	n := e.cfg.Workers
-	C := e.chunkCount()
-	sc := &e.scratch[w]
-	s, err := e.localSparse(jb, sc)
-	if err != nil {
-		return err
-	}
-	perChunkCompress := 0.0
-	if e.cfg.CompressSec > 0 {
-		perChunkCompress = e.cfg.CompressSec / float64(C)
-	}
-	sc.enc = growSlots(sc.enc, C)
-	if cap(sc.ready) < C {
-		sc.ready = make([]float64, C)
-	}
-	sc.ready = sc.ready[:C]
-
-	// encodeUpTo materialises chunk payloads in ascending order, charging
-	// each chunk's compression slice to the node's compressor lane (which
-	// runs concurrently with the NICs) and recording when each chunk
-	// becomes sendable. It is called from the overlap hook (the pipelined
-	// slot) and is idempotent from the loop head, which keeps single-node
-	// rings — no transport step, so no hook — correct.
-	encoded, pos := 0, 0
-	encodeUpTo := func(c int) error {
-		for ; encoded <= c; encoded++ {
-			sc.ready[encoded] = 0
-			if perChunkCompress > 0 {
-				sc.ready[encoded] = e.tp.ComputeOverlap(w, perChunkCompress)
-			}
-			_, hi := chunkBounds(jb.dim, C, encoded)
-			end := pos
-			for end < len(s.Idx) && int(s.Idx[end]) < hi {
-				end++
-			}
-			sc.view = tensor.Sparse{Dim: jb.dim, Idx: s.Idx[pos:end], Vals: s.Vals[pos:end]}
-			pos = end
-			var err error
-			sc.enc[encoded], err = encoding.EncodeTo(sc.enc[encoded][:0], &sc.view, e.format)
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	tensor.Zero(out)
-	for c := 0; c < C; c++ {
-		if err := encodeUpTo(c); err != nil {
-			return err
-		}
-		// The chunk's own payload cannot leave before its compression
-		// finishes; everything the node merely forwards is not gated.
-		e.tp.WaitFor(w, sc.ready[c])
-		overlap := func() error {
-			if c+1 < C {
-				return encodeUpTo(c + 1)
-			}
-			return nil
-		}
-		sc.gather, err = AllGatherInto(e.tp, w, n, sc.enc[c], sc.gather, overlap)
-		if err != nil {
-			return err
-		}
-		// Decode and reduce in worker-index order: with a lossless format
-		// this is the exact operation sequence of dist.InProcess.
-		for origin := 0; origin < n; origin++ {
-			if err := encoding.DecodeInto(&sc.dec, sc.gather[origin]); err != nil {
-				return fmt.Errorf("decoding origin %d chunk %d: %w", origin, c, err)
-			}
-			if sc.dec.Dim != jb.dim {
-				return fmt.Errorf("origin %d has dim %d, want %d", origin, sc.dec.Dim, jb.dim)
-			}
-			sc.dec.AddTo(out)
-		}
-	}
-	tensor.Scale(1/float64(n), out)
-	return nil
-}
-
-// localSparse resolves a worker's contribution to a sparse vector
-// without copying: compressed gradients are used as-is, dense gradients
-// get a full-support view over the shared index ramp, so even the
-// no-compression baseline moves real encoded bytes.
-func (e *Engine) localSparse(jb job, sc *nodeScratch) (*tensor.Sparse, error) {
-	if jb.sparse != nil {
-		return jb.sparse, nil
-	}
-	if len(jb.dense) != jb.dim {
-		return nil, fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
-	}
-	sc.full = tensor.Sparse{Dim: jb.dim, Idx: e.ident[:jb.dim], Vals: jb.dense}
-	return &sc.full, nil
-}
-
-// growIdent extends the shared identity index ramp to at least dim
-// entries. Only Exchange (a single goroutine) may call it; node
-// goroutines treat the ramp as read-only.
-func (e *Engine) growIdent(dim int) {
-	for i := len(e.ident); i < dim; i++ {
-		e.ident = append(e.ident, int32(i))
-	}
-}
-
-// growSlots ensures bufs has at least n reusable byte-buffer slots.
-func growSlots(bufs [][]byte, n int) [][]byte {
-	for len(bufs) < n {
-		bufs = append(bufs, nil)
-	}
-	return bufs
 }
 
 // serverLoop is the goroutine body of the parameter-server node: one
-// PSServe round per exchange. The server learns each round's start from
-// the first arriving push, so it needs no job channel.
+// round per exchange. The server learns each round's start from the
+// first arriving push, so it needs no job channel.
 func (e *Engine) serverLoop() {
 	defer e.wg.Done()
-	n := e.cfg.Workers
-	var acc []float64
-	var dim int
-	var dec, agg tensor.Sparse
-	var wire []byte
+	var srv psServer
 	for {
-		combine := func(worker int, payload []byte) error {
-			if err := encoding.DecodeInto(&dec, payload); err != nil {
-				return err
-			}
-			if worker == 0 {
-				dim = dec.Dim
-				if len(acc) != dim {
-					acc = make([]float64, dim)
-				}
-				tensor.Zero(acc)
-			} else if dec.Dim != dim {
-				return fmt.Errorf("worker %d pushed dim %d, want %d", worker, dec.Dim, dim)
-			}
-			// Worker-index arrival order (PSServe receives 0..n-1) keeps
-			// the sum bit-identical to the in-process reducer.
-			dec.AddTo(acc)
-			return nil
-		}
-		reply := func() ([]byte, error) {
-			tensor.Scale(1/float64(n), acc)
-			sparsifyInto(&agg, dim, acc)
-			var err error
-			// The reply buffer is broadcast to every worker and read
-			// within the round, so recycling it across rounds is safe:
-			// Exchange's result barrier ends the round before reuse.
-			wire, err = encoding.EncodeTo(wire[:0], &agg, e.format)
-			if err != nil {
-				return nil, err
-			}
-			return wire, nil
-		}
-		if err := PSServe(e.tp, e.server, n, combine, reply); err != nil {
+		if err := srv.round(e.sched.tp, e.sched.server, e.cfg.Workers, e.sched.format); err != nil {
 			// A server failure is fatal to the cluster: close the
 			// transport so workers blocked on their pull unblock with an
 			// error instead of hanging, then report and exit. (On a
 			// normal engine Close the transport is already closed and
 			// this is a no-op.)
-			e.tp.Close()
-			e.results <- result{node: e.server, err: err}
+			e.sched.tp.Close()
+			e.results <- result{node: e.sched.server, err: err}
 			return
 		}
-		e.results <- result{node: e.server}
-	}
-}
-
-// sparsifyInto extracts the non-zero support of a dense vector into
-// reused sparse storage. Exact zeros drop out of the encoding; decoding
-// restores them as zeros, so the round-trip is value-preserving.
-func sparsifyInto(dst *tensor.Sparse, dim int, dense []float64) {
-	dst.Reset(dim)
-	for i, v := range dense {
-		if v != 0 {
-			dst.Append(int32(i), v)
-		}
+		e.results <- result{node: e.sched.server}
 	}
 }

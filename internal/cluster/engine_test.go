@@ -235,10 +235,12 @@ func TestEngineFailStopOnBadInput(t *testing.T) {
 	}
 }
 
-// tinyTrainer builds a small dense-net trainer so the bit-identity sweep
-// over every registry compressor stays fast.
-func tinyTrainer(t *testing.T, workers int, comp string, delta float64, seed int64, ex dist.GradientExchange) *dist.Trainer {
-	t.Helper()
+// tinyTrainerCfg builds the configuration of a small dense-net trainer,
+// shared by the single-process bit-identity sweeps (workers trainers in
+// one process, firstWorker 0) and the per-process node deployments of
+// the TCP tests (Workers=1 trainers whose firstWorker is the rank) — one
+// builder, so the two setups cannot drift apart.
+func tinyTrainerCfg(workers, firstWorker int, comp string, delta float64, seed int64, ex dist.GradientExchange) dist.TrainerConfig {
 	rng := rand.New(rand.NewSource(seed))
 	model := nn.NewSequential(
 		nn.NewDense("d1", 12, 10, rng),
@@ -249,11 +251,12 @@ func tinyTrainer(t *testing.T, workers int, comp string, delta float64, seed int
 	if comp != "" {
 		factory = func() compress.Compressor { return registryCompressor(comp, seed) }
 	}
-	tr, err := dist.NewTrainer(dist.TrainerConfig{
-		Workers: workers,
-		Model:   model,
-		Loss:    &nn.SoftmaxCrossEntropy{},
-		Opt:     &nn.SGD{LR: 0.05},
+	return dist.TrainerConfig{
+		Workers:     workers,
+		FirstWorker: firstWorker,
+		Model:       model,
+		Loss:        &nn.SoftmaxCrossEntropy{},
+		Opt:         &nn.SGD{LR: 0.05},
 		Batch: func(worker int, rng *rand.Rand) (*nn.Tensor, []int) {
 			x := nn.NewTensor(8, 12)
 			targets := make([]int, 8)
@@ -270,7 +273,14 @@ func tinyTrainer(t *testing.T, workers int, comp string, delta float64, seed int
 		EC:            comp != "",
 		Seed:          seed,
 		Exchange:      ex,
-	})
+	}
+}
+
+// tinyTrainer builds a small dense-net trainer so the bit-identity sweep
+// over every registry compressor stays fast.
+func tinyTrainer(t *testing.T, workers int, comp string, delta float64, seed int64, ex dist.GradientExchange) *dist.Trainer {
+	t.Helper()
+	tr, err := dist.NewTrainer(tinyTrainerCfg(workers, 0, comp, delta, seed, ex))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -558,6 +568,137 @@ func TestChunkedConfigValidation(t *testing.T) {
 			t.Fatalf("chunks > dim: element %d = %v, want %v", i, got[i], want[i])
 		}
 	}
+}
+
+// TestChunkedAutoResolvesBeforeValidation is the regression for the
+// construction-time rejection of Chunks > 1 under CollectiveAuto: Auto
+// resolves to the all-gather on every sparse exchange, so the chunked
+// mode must be validated against the resolved collective, not the
+// selector. A dense round that resolves to the ring is rejected at
+// exchange time instead — without fail-stopping the engine.
+func TestChunkedAutoResolvesBeforeValidation(t *testing.T) {
+	const dim, workers = 120, 3
+	e, err := New(Config{Workers: workers, Collective: netsim.CollectiveAuto, Chunks: 4, Verify: true})
+	if err != nil {
+		t.Fatalf("Auto + Chunks > 1 rejected at construction: %v", err)
+	}
+	defer e.Close()
+	ins := randomInputs(t, workers, dim, 0.1, 21)
+	want := make([]float64, dim)
+	if err := (dist.InProcess{}).Exchange(0, ins, want); err != nil {
+		t.Fatal(err)
+	}
+	agg := make([]float64, dim)
+	if err := e.Exchange(0, ins, agg); err != nil {
+		t.Fatalf("sparse exchange under Auto + chunks: %v", err)
+	}
+	for i := range want {
+		if agg[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v (chunked Auto must stay bit-identical)", i, agg[i], want[i])
+		}
+	}
+	dense := make([]dist.ExchangeInput, workers)
+	for i, in := range ins {
+		dense[i] = dist.ExchangeInput{Worker: in.Worker, Dense: in.Dense}
+	}
+	if err := e.Exchange(1, dense, agg); err == nil {
+		t.Fatal("dense round under Auto + chunks resolved to the ring and should error")
+	}
+	// The rejection happened before fan-out, so the engine is still live.
+	if err := e.Exchange(2, ins, agg); err != nil {
+		t.Fatalf("engine fail-stopped on a pre-flight validation error: %v", err)
+	}
+	// Training end-to-end through Auto + chunks (the configuration the
+	// old validation made unreachable).
+	ref := tinyTrainer(t, workers, "topk", 0.1, 31, nil)
+	wantLoss, _, err := ref.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(Config{Workers: workers, Collective: netsim.CollectiveAuto, Chunks: 4, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	tr := tinyTrainer(t, workers, "topk", 0.1, 31, e2)
+	gotLoss, _, err := tr.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantLoss {
+		if gotLoss[i] != wantLoss[i] {
+			t.Fatalf("loss[%d] = %v, want %v (bit-identical)", i, gotLoss[i], wantLoss[i])
+		}
+	}
+}
+
+// TestChunkedTinyDimEdges is the regression for chunk counts colliding
+// with tiny dimensions: at d=3, C=8 most chunk ranges are empty
+// (c*d/C == (c+1)*d/C), and at d=0 all of them are. Neither may panic or
+// short-count — empty chunks ship header-only payloads, the aggregate
+// stays bit-identical to the in-process reducer, and the traffic still
+// matches the chunked formulas.
+func TestChunkedTinyDimEdges(t *testing.T) {
+	t.Run("d3c8", func(t *testing.T) {
+		const dim, workers, chunks = 3, 2, 8
+		counts := ChunkNNZ([]int32{0, 1, 2}, dim, chunks)
+		if len(counts) != chunks {
+			t.Fatalf("ChunkNNZ returned %d chunks, want %d", len(counts), chunks)
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != dim {
+			t.Fatalf("ChunkNNZ partition covers %d indices, want %d", total, dim)
+		}
+		ins := randomInputs(t, workers, dim, 1, 13) // full-support selections
+		want := make([]float64, dim)
+		if err := (dist.InProcess{}).Exchange(0, ins, want); err != nil {
+			t.Fatal(err)
+		}
+		got, e := engineExchange(t, Config{
+			Workers: workers, Collective: netsim.CollectiveAllGather, Chunks: chunks, Verify: true,
+		}, ins, dim)
+		defer e.Close()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+		msgs, bytes := e.Transport().Totals()
+		if wantMsgs := workers * netsim.ChunkedAllGatherMessages(workers, chunks); msgs != wantMsgs {
+			t.Errorf("%d messages, want %d (empty chunks still run their all-gather)", msgs, wantMsgs)
+		}
+		wantBytes := 0
+		for _, in := range ins {
+			for _, n := range ChunkNNZ(in.Sparse.Idx, dim, chunks) {
+				wantBytes += (workers - 1) * encoding.Pairs64Size(dim, n)
+			}
+		}
+		if bytes != wantBytes {
+			t.Errorf("%d bytes, want %d (header-only payloads for empty chunks)", bytes, wantBytes)
+		}
+	})
+	t.Run("d0", func(t *testing.T) {
+		const workers, chunks = 2, 4
+		for _, c := range ChunkNNZ(nil, 0, chunks) {
+			if c != 0 {
+				t.Fatal("ChunkNNZ at d=0 must be all zeros")
+			}
+		}
+		ins := []dist.ExchangeInput{
+			{Worker: 0, Dense: []float64{}, Sparse: &tensor.Sparse{Dim: 0}},
+			{Worker: 1, Dense: []float64{}, Sparse: &tensor.Sparse{Dim: 0}},
+		}
+		got, e := engineExchange(t, Config{
+			Workers: workers, Collective: netsim.CollectiveAllGather, Chunks: chunks, Verify: true,
+		}, ins, 0)
+		defer e.Close()
+		if len(got) != 0 {
+			t.Fatalf("aggregate has %d elements, want 0", len(got))
+		}
+	})
 }
 
 // TestChunkedSingleWorker covers the degenerate one-node ring, where the

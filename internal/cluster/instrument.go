@@ -61,6 +61,14 @@ func (s *Scenario) transfer(from, to, bytes int) float64 {
 // total bytes equal the sum of payload lengths handed to Send, which for
 // encoded gradients equals internal/encoding's size accounting.
 //
+// Sends and receives are counted separately, because the wrapped
+// transport need not host every node: over a per-process TCPTransport
+// (cmd/sidco-node) this wrapper only observes the local rank's traffic,
+// so Totals is the process's outbound share of the collective and
+// RecvTotals its inbound share. In a single-process deployment every
+// message is both sent and received locally and the two mirror each
+// other.
+//
 // The clock model charges each message alpha + bytes/bandwidth on both
 // the sender's and the receiver's NIC: per-node NICs serialise their own
 // transfers (so a parameter server's fan-in and fan-out serialise, as in
@@ -75,8 +83,11 @@ type Instrumented struct {
 
 	mu         sync.Mutex
 	stats      map[Link]*LinkStats
+	rstats     map[Link]*LinkStats
 	totalMsgs  int
 	totalBytes int
+	recvMsgs   int
+	recvBytes  int
 	clock      []float64 // per-node logical progress time
 	txBusy     []float64 // per-node send-NIC busy-until
 	rxBusy     []float64 // per-node receive-NIC busy-until
@@ -92,6 +103,7 @@ func NewInstrumented(inner Transport, scen *Scenario) *Instrumented {
 		inner:    inner,
 		scen:     scen,
 		stats:    make(map[Link]*LinkStats),
+		rstats:   make(map[Link]*LinkStats),
 		clock:    make([]float64, n),
 		txBusy:   make([]float64, n),
 		rxBusy:   make([]float64, n),
@@ -135,9 +147,18 @@ func (t *Instrumented) Recv(to, from int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.mu.Lock()
+	l := Link{from, to}
+	rst := t.rstats[l]
+	if rst == nil {
+		rst = &LinkStats{}
+		t.rstats[l] = rst
+	}
+	rst.Messages++
+	rst.Bytes += len(payload)
+	t.recvMsgs++
+	t.recvBytes += len(payload)
 	if t.scen != nil {
-		t.mu.Lock()
-		l := Link{from, to}
 		if q := t.stamps[l]; len(q) > 0 && to >= 0 && to < len(t.clock) {
 			start := q[0]
 			t.stamps[l] = q[1:]
@@ -149,8 +170,8 @@ func (t *Instrumented) Recv(to, from int) ([]byte, error) {
 				t.clock[to] = t.rxBusy[to]
 			}
 		}
-		t.mu.Unlock()
 	}
+	t.mu.Unlock()
 	return payload, nil
 }
 
@@ -216,7 +237,7 @@ func (t *Instrumented) WaitFor(node int, ts float64) {
 	t.mu.Unlock()
 }
 
-// LinkStats returns the traffic of one directed link.
+// LinkStats returns the sent traffic of one directed link.
 func (t *Instrumented) LinkStats(from, to int) LinkStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -226,11 +247,30 @@ func (t *Instrumented) LinkStats(from, to int) LinkStats {
 	return LinkStats{}
 }
 
-// Totals returns the message and byte counts summed over all links.
+// RecvLinkStats returns the received traffic of one directed link —
+// messages this wrapper's Recv actually delivered at node to.
+func (t *Instrumented) RecvLinkStats(from, to int) LinkStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st := t.rstats[Link{from, to}]; st != nil {
+		return *st
+	}
+	return LinkStats{}
+}
+
+// Totals returns the sent message and byte counts summed over all links.
 func (t *Instrumented) Totals() (messages, bytes int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.totalMsgs, t.totalBytes
+}
+
+// RecvTotals returns the received message and byte counts summed over
+// all links — the inbound share of a per-process node's collective.
+func (t *Instrumented) RecvTotals() (messages, bytes int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recvMsgs, t.recvBytes
 }
 
 // Elapsed returns the virtual time of the slowest node — the synchronous
@@ -263,7 +303,9 @@ func (t *Instrumented) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats = make(map[Link]*LinkStats)
+	t.rstats = make(map[Link]*LinkStats)
 	t.totalMsgs, t.totalBytes = 0, 0
+	t.recvMsgs, t.recvBytes = 0, 0
 	for i := range t.clock {
 		t.clock[i], t.txBusy[i], t.rxBusy[i], t.pipeBusy[i] = 0, 0, 0, 0
 	}

@@ -1,0 +1,511 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/encoding"
+	"repro/internal/netsim"
+	"repro/internal/tensor"
+)
+
+// sched executes the collective schedules from one node's perspective:
+// the shared runner behind Engine (which hosts all N nodes in one
+// process) and Node (one node per process). Its fields are immutable
+// after construction, so Engine's node goroutines share one value.
+type sched struct {
+	workers     int
+	server      int // server node id under PS, else -1
+	format      encoding.Format
+	chunks      int
+	computeSec  float64
+	compressSec float64
+	tp          *Instrumented
+}
+
+// nodeScratch is one node's reusable pipeline storage: encode buffers
+// (one per chunk — a chunk's buffer stays pinned while it circulates the
+// ring, so chunks cannot share), the all-gather result slots, the decode
+// target, the zero-copy view headers and the identity index ramp backing
+// dense-as-sparse views.
+type nodeScratch struct {
+	enc    [][]byte
+	gather [][]byte
+	ready  []float64 // per-chunk compression completion (virtual time)
+	dec    tensor.Sparse
+	view   tensor.Sparse // chunk subrange of the local selection
+	full   tensor.Sparse // full-support view of a dense gradient
+	ident  []int32       // 0..dim-1 ramp for dense-as-sparse views
+}
+
+// chunkCount resolves the configured chunking (0 or 1: monolithic).
+func (s *sched) chunkCount() int {
+	if s.chunks > 1 {
+		return s.chunks
+	}
+	return 1
+}
+
+// runWorker executes worker node w's half of one exchange, leaving the
+// aggregated mean in out (which must have jb.dim elements).
+func (s *sched) runWorker(w int, jb job, sc *nodeScratch, out []float64) error {
+	if s.computeSec > 0 {
+		s.tp.Compute(w, s.computeSec)
+	}
+	n := s.workers
+	switch jb.coll {
+	case netsim.CollectiveRing:
+		// Dense in-ring reduction: start from the local dense gradient
+		// (densifying the sparse selection if the caller forced ring).
+		if jb.sparse != nil {
+			tensor.Zero(out)
+			jb.sparse.AddTo(out)
+		} else {
+			if len(jb.dense) != jb.dim {
+				return fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
+			}
+			copy(out, jb.dense)
+		}
+		if err := RingAllReduce(s.tp, w, n, out); err != nil {
+			return err
+		}
+		tensor.Scale(1/float64(n), out)
+		return nil
+
+	case netsim.CollectiveAllGather:
+		return s.runAllGather(w, jb, sc, out)
+
+	case netsim.CollectivePS:
+		sp, err := s.localSparse(jb, sc)
+		if err != nil {
+			return err
+		}
+		sc.enc = growSlots(sc.enc, 1)
+		sc.enc[0], err = encoding.EncodeTo(sc.enc[0][:0], sp, s.format)
+		if err != nil {
+			return err
+		}
+		reply, err := PSPushPull(s.tp, w, s.server, sc.enc[0])
+		if err != nil {
+			return err
+		}
+		if err := encoding.DecodeInto(&sc.dec, reply); err != nil {
+			return fmt.Errorf("decoding server reply: %w", err)
+		}
+		if sc.dec.Dim != jb.dim {
+			return fmt.Errorf("server reply has dim %d, want %d", sc.dec.Dim, jb.dim)
+		}
+		tensor.Zero(out)
+		sc.dec.AddTo(out)
+		return nil
+	}
+	return fmt.Errorf("unreachable collective")
+}
+
+// runAllGather executes the (optionally chunked) sparse all-gather for
+// one node. The local selection is partitioned by index range into C
+// chunks — each chunk's element budget is exactly what the monolithic
+// selection placed in that range, so the global k-budget is preserved
+// without any per-chunk floor — and every chunk runs one all-gather of
+// encoded payloads. Compression time (CompressSec/C per chunk) and the
+// encode of chunk i+1 happen inside chunk i's pipeline overlap slot.
+//
+// Aggregation stays bit-identical to the monolithic schedule: chunks
+// partition the index space, and within each chunk contributions are
+// decoded and added in worker-index order — for every element the same
+// addition sequence as dist.InProcess over a lossless wire.
+//
+// Chunk counts beyond the dimension are harmless: chunkBounds collides
+// (c*d/C == (c+1)*d/C) for the surplus chunks, whose index ranges are
+// empty, so they ship header-only payloads and contribute nothing to the
+// sum — the schedule still runs C full all-gathers, which is what the
+// traffic formulas (netsim.ChunkedAllGatherMessages) count.
+func (s *sched) runAllGather(w int, jb job, sc *nodeScratch, out []float64) error {
+	n := s.workers
+	C := s.chunkCount()
+	sp, err := s.localSparse(jb, sc)
+	if err != nil {
+		return err
+	}
+	perChunkCompress := 0.0
+	if s.compressSec > 0 {
+		perChunkCompress = s.compressSec / float64(C)
+	}
+	sc.enc = growSlots(sc.enc, C)
+	if cap(sc.ready) < C {
+		sc.ready = make([]float64, C)
+	}
+	sc.ready = sc.ready[:C]
+
+	// encodeUpTo materialises chunk payloads in ascending order, charging
+	// each chunk's compression slice to the node's compressor lane (which
+	// runs concurrently with the NICs) and recording when each chunk
+	// becomes sendable. It is called from the overlap hook (the pipelined
+	// slot) and is idempotent from the loop head, which keeps single-node
+	// rings — no transport step, so no hook — correct.
+	encoded, pos := 0, 0
+	encodeUpTo := func(c int) error {
+		for ; encoded <= c; encoded++ {
+			sc.ready[encoded] = 0
+			if perChunkCompress > 0 {
+				sc.ready[encoded] = s.tp.ComputeOverlap(w, perChunkCompress)
+			}
+			_, hi := chunkBounds(jb.dim, C, encoded)
+			end := pos
+			for end < len(sp.Idx) && int(sp.Idx[end]) < hi {
+				end++
+			}
+			sc.view = tensor.Sparse{Dim: jb.dim, Idx: sp.Idx[pos:end], Vals: sp.Vals[pos:end]}
+			pos = end
+			var err error
+			sc.enc[encoded], err = encoding.EncodeTo(sc.enc[encoded][:0], &sc.view, s.format)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	tensor.Zero(out)
+	for c := 0; c < C; c++ {
+		if err := encodeUpTo(c); err != nil {
+			return err
+		}
+		// The chunk's own payload cannot leave before its compression
+		// finishes; everything the node merely forwards is not gated.
+		s.tp.WaitFor(w, sc.ready[c])
+		overlap := func() error {
+			if c+1 < C {
+				return encodeUpTo(c + 1)
+			}
+			return nil
+		}
+		sc.gather, err = AllGatherInto(s.tp, w, n, sc.enc[c], sc.gather, overlap)
+		if err != nil {
+			return err
+		}
+		// Decode and reduce in worker-index order: with a lossless format
+		// this is the exact operation sequence of dist.InProcess.
+		for origin := 0; origin < n; origin++ {
+			if err := encoding.DecodeInto(&sc.dec, sc.gather[origin]); err != nil {
+				return fmt.Errorf("decoding origin %d chunk %d: %w", origin, c, err)
+			}
+			if sc.dec.Dim != jb.dim {
+				return fmt.Errorf("origin %d has dim %d, want %d", origin, sc.dec.Dim, jb.dim)
+			}
+			sc.dec.AddTo(out)
+		}
+	}
+	tensor.Scale(1/float64(n), out)
+	return nil
+}
+
+// localSparse resolves a worker's contribution to a sparse vector
+// without copying: compressed gradients are used as-is, dense gradients
+// get a full-support view over the scratch's index ramp, so even the
+// no-compression baseline moves real encoded bytes.
+func (s *sched) localSparse(jb job, sc *nodeScratch) (*tensor.Sparse, error) {
+	if jb.sparse != nil {
+		return jb.sparse, nil
+	}
+	if len(jb.dense) != jb.dim {
+		return nil, fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
+	}
+	for i := len(sc.ident); i < jb.dim; i++ {
+		sc.ident = append(sc.ident, int32(i))
+	}
+	sc.full = tensor.Sparse{Dim: jb.dim, Idx: sc.ident[:jb.dim], Vals: jb.dense}
+	return &sc.full, nil
+}
+
+// growSlots ensures bufs has at least n reusable byte-buffer slots.
+func growSlots(bufs [][]byte, n int) [][]byte {
+	for len(bufs) < n {
+		bufs = append(bufs, nil)
+	}
+	return bufs
+}
+
+// psServer is the parameter-server node's reusable aggregation state:
+// one value lives for the life of the serving loop, whether that loop is
+// Engine's server goroutine or a dedicated server process (Node.Serve).
+type psServer struct {
+	acc  []float64
+	dim  int
+	dec  tensor.Sparse
+	agg  tensor.Sparse
+	wire []byte
+}
+
+// round serves one parameter-server exchange: receive every worker's
+// push in worker-index order, combine, and broadcast the mean.
+func (s *psServer) round(tp Transport, server, workers int, format encoding.Format) error {
+	combine := func(worker int, payload []byte) error {
+		if err := encoding.DecodeInto(&s.dec, payload); err != nil {
+			return err
+		}
+		if worker == 0 {
+			s.dim = s.dec.Dim
+			if len(s.acc) != s.dim {
+				s.acc = make([]float64, s.dim)
+			}
+			tensor.Zero(s.acc)
+		} else if s.dec.Dim != s.dim {
+			return fmt.Errorf("worker %d pushed dim %d, want %d", worker, s.dec.Dim, s.dim)
+		}
+		// Worker-index arrival order (PSServe receives 0..n-1) keeps
+		// the sum bit-identical to the in-process reducer.
+		s.dec.AddTo(s.acc)
+		return nil
+	}
+	reply := func() ([]byte, error) {
+		tensor.Scale(1/float64(workers), s.acc)
+		sparsifyInto(&s.agg, s.dim, s.acc)
+		var err error
+		// The reply buffer is broadcast to every worker and read
+		// within the round, so recycling it across rounds is safe:
+		// the round barrier ends before reuse.
+		s.wire, err = encoding.EncodeTo(s.wire[:0], &s.agg, format)
+		if err != nil {
+			return nil, err
+		}
+		return s.wire, nil
+	}
+	return PSServe(tp, server, workers, combine, reply)
+}
+
+// sparsifyInto extracts the non-zero support of a dense vector into
+// reused sparse storage. Exact zeros drop out of the encoding; decoding
+// restores them as zeros, so the round-trip is value-preserving.
+func sparsifyInto(dst *tensor.Sparse, dim int, dense []float64) {
+	dst.Reset(dim)
+	for i, v := range dense {
+		if v != 0 {
+			dst.Append(int32(i), v)
+		}
+	}
+}
+
+// NodeConfig assembles one cluster node of a multi-process deployment.
+type NodeConfig struct {
+	// Workers is the global number of training nodes N (>= 1) — not the
+	// count hosted by this process.
+	Workers int
+	// Rank is this node's id: 0..Workers-1 for a worker node, or exactly
+	// Workers for the parameter-server node (CollectivePS only), which
+	// runs Serve instead of Exchange.
+	Rank int
+	// Collective, Format, Chunks, ComputeSec and CompressSec mirror the
+	// same Config fields; every process of a deployment must pass
+	// identical values or the interlocking schedules diverge.
+	Collective  netsim.Collective
+	Format      Wire
+	Chunks      int
+	ComputeSec  float64
+	CompressSec float64
+	// Transport is required: typically a TCPTransport hosting this rank
+	// over the deployment's shared host list. It must span
+	// NodeCount(Workers, Collective) nodes.
+	//
+	// The node reuses its encode buffers across exchanges, and unlike
+	// Engine it has no built-in per-round barrier. A TCPTransport copies
+	// every payload through the socket, so reuse is always safe there.
+	// Nodes sharing a by-reference transport (ChanTransport) must end
+	// every round with a collective barrier before the next Exchange —
+	// MeanScalar after each step, as cmd/sidco-node does, is one — or a
+	// node running ahead would overwrite bytes a slower peer is still
+	// decoding. When in doubt in-process, use Engine instead.
+	Transport Transport
+	// Scenario enables the virtual-time model on the instrumented
+	// transport (meaningful for single-process loopback studies; in a
+	// real multi-process run each process only sees its own clock).
+	Scenario *Scenario
+}
+
+// Node is one cluster node in a process of its own: the per-process
+// counterpart of Engine. A worker Node (Rank < Workers) satisfies
+// dist.GradientExchange for a single local worker — plug it into a
+// Workers=1 dist.Trainer whose FirstWorker is this rank and the process
+// trains global worker Rank, exchanging real bytes with its peers. The
+// server Node of a parameter-server deployment (Rank == Workers) runs
+// Serve instead.
+//
+// Exchange leaves the global mean over all Workers contributions in agg,
+// so the local optimizer applies exactly the update every peer applies:
+// replicas that start from identical weights stay identical, and over
+// the lossless wire the whole deployment reproduces the in-process
+// trainer bit-for-bit.
+type Node struct {
+	cfg    NodeConfig
+	sched  sched
+	sc     nodeScratch
+	raw    Transport
+	out    []float64
+	scalar [8]byte
+	sgath  [][]byte
+	closed bool
+}
+
+// NewNode validates cfg and binds the node to its transport.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("cluster: Workers = %d, need >= 1", cfg.Workers)
+	}
+	switch cfg.Collective {
+	case netsim.CollectiveAuto, netsim.CollectiveRing, netsim.CollectiveAllGather, netsim.CollectivePS:
+	default:
+		return nil, fmt.Errorf("cluster: unknown collective %v", cfg.Collective)
+	}
+	format, err := cfg.Format.Format()
+	if err != nil {
+		return nil, err
+	}
+	if err := validateChunks(cfg.Chunks, cfg.Collective); err != nil {
+		return nil, err
+	}
+	if cfg.CompressSec < 0 {
+		return nil, fmt.Errorf("cluster: CompressSec = %v, need >= 0", cfg.CompressSec)
+	}
+	nodes := NodeCount(cfg.Workers, cfg.Collective)
+	if cfg.Rank < 0 || cfg.Rank >= nodes {
+		return nil, fmt.Errorf("cluster: Rank = %d outside the %d-node deployment", cfg.Rank, nodes)
+	}
+	if cfg.Rank == cfg.Workers && cfg.Collective != netsim.CollectivePS {
+		return nil, fmt.Errorf("cluster: Rank = %d is the server slot, which only CollectivePS has", cfg.Rank)
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("cluster: Node requires a Transport (use Engine for the in-process default)")
+	}
+	if cfg.Transport.Nodes() < nodes {
+		return nil, fmt.Errorf("cluster: transport has %d nodes, need %d", cfg.Transport.Nodes(), nodes)
+	}
+	server := -1
+	if cfg.Collective == netsim.CollectivePS {
+		server = cfg.Workers
+	}
+	return &Node{
+		cfg: cfg,
+		raw: cfg.Transport,
+		sched: sched{
+			workers:     cfg.Workers,
+			server:      server,
+			format:      format,
+			chunks:      cfg.Chunks,
+			computeSec:  cfg.ComputeSec,
+			compressSec: cfg.CompressSec,
+			tp:          NewInstrumented(cfg.Transport, cfg.Scenario),
+		},
+	}, nil
+}
+
+// Transport exposes the node's instrumented transport: its counters see
+// this process's gradient traffic (sends from and receives at this
+// rank), which is what a per-node traffic cross-check compares against
+// the per-node share of netsim's collective formulas.
+func (n *Node) Transport() *Instrumented { return n.sched.tp }
+
+// Exchange implements dist.GradientExchange for the single local worker:
+// ins must hold exactly one input — this rank's contribution — and agg
+// receives the global mean over all Workers contributions. Every worker
+// process must call Exchange for the same step with the same collective
+// resolution, or the interlocked schedules deadlock; the transport's
+// per-link FIFO keeps successive steps from interleaving.
+func (n *Node) Exchange(step int, ins []dist.ExchangeInput, agg []float64) error {
+	if n.closed {
+		return fmt.Errorf("cluster: exchange on closed node")
+	}
+	if n.cfg.Rank >= n.cfg.Workers {
+		return fmt.Errorf("cluster: exchange on the server node (rank %d); run Serve instead", n.cfg.Rank)
+	}
+	if len(ins) != 1 {
+		return fmt.Errorf("cluster: node exchange got %d inputs, hosts exactly 1 worker", len(ins))
+	}
+	if ins[0].Worker != n.cfg.Rank {
+		return fmt.Errorf("cluster: node %d handed worker %d's gradient (is the trainer's FirstWorker set to the rank?)", n.cfg.Rank, ins[0].Worker)
+	}
+	coll, err := resolveCollective(n.cfg.Collective, ins[0].Sparse != nil, n.cfg.Chunks)
+	if err != nil {
+		return err
+	}
+	jb := job{step: step, sparse: ins[0].Sparse, dense: ins[0].Dense, dim: len(agg), coll: coll}
+	if err := n.sched.runWorker(n.cfg.Rank, jb, &n.sc, agg); err != nil {
+		// Fail-stop, like Engine: a broken round leaves stray messages on
+		// the links, so this node cannot safely run another schedule.
+		n.Close()
+		return fmt.Errorf("cluster: node %d: %w", n.cfg.Rank, err)
+	}
+	return nil
+}
+
+// MeanScalar all-reduces one scalar across the worker nodes and returns
+// the mean, summed in worker-index order — the reduction that makes the
+// global training loss of a multi-process run bit-identical to the
+// in-process trainer's. It rides the raw transport, not the
+// instrumented one: loss reporting is diagnostics, so it never pollutes
+// the gradient-traffic counters the netsim cross-checks compare.
+func (n *Node) MeanScalar(x float64) (float64, error) {
+	if n.closed {
+		return 0, fmt.Errorf("cluster: scalar reduce on closed node")
+	}
+	if n.cfg.Rank >= n.cfg.Workers {
+		return 0, fmt.Errorf("cluster: scalar reduce on the server node (rank %d)", n.cfg.Rank)
+	}
+	if n.cfg.Workers == 1 {
+		return x, nil
+	}
+	binary.LittleEndian.PutUint64(n.scalar[:], math.Float64bits(x))
+	var err error
+	n.sgath, err = AllGatherInto(n.raw, n.cfg.Rank, n.cfg.Workers, n.scalar[:], n.sgath, nil)
+	if err != nil {
+		n.Close()
+		return 0, fmt.Errorf("cluster: node %d scalar reduce: %w", n.cfg.Rank, err)
+	}
+	sum := 0.0
+	for w := 0; w < n.cfg.Workers; w++ {
+		if len(n.sgath[w]) != 8 {
+			n.Close()
+			return 0, fmt.Errorf("cluster: node %d scalar reduce: origin %d payload has %d bytes", n.cfg.Rank, w, len(n.sgath[w]))
+		}
+		sum += math.Float64frombits(binary.LittleEndian.Uint64(n.sgath[w]))
+	}
+	return sum * (1 / float64(n.cfg.Workers)), nil
+}
+
+// Serve runs the parameter-server loop (Rank == Workers): one
+// aggregation round per worker exchange. rounds > 0 serves exactly that
+// many rounds — the deterministic shutdown of a fixed-iteration
+// deployment, where the server is told the step count every worker was
+// told. rounds <= 0 serves until the transport closes (the closure is
+// the shutdown signal, so it returns nil rather than an error); note a
+// peer merely dropping its connections does not close this node's
+// transport, so unbounded serving needs an external Close.
+func (n *Node) Serve(rounds int) error {
+	if n.cfg.Rank != n.cfg.Workers || n.cfg.Collective != netsim.CollectivePS {
+		return fmt.Errorf("cluster: Serve on rank %d, want the server rank %d under PS", n.cfg.Rank, n.cfg.Workers)
+	}
+	var srv psServer
+	for served := 0; rounds <= 0 || served < rounds; served++ {
+		if err := srv.round(n.sched.tp, n.sched.server, n.cfg.Workers, n.sched.format); err != nil {
+			n.closed = true
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
+			n.sched.tp.Close()
+			return fmt.Errorf("cluster: server: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close marks the node closed and closes its transport. Safe to call
+// more than once.
+func (n *Node) Close() error {
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	return n.sched.tp.Close()
+}

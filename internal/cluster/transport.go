@@ -14,40 +14,68 @@
 // virtual-time model with per-link bandwidth overrides and per-node
 // straggler factors.
 //
+// Two transports ship: ChanTransport moves payloads over in-process
+// channels, and TCPTransport moves length-prefix-framed payloads over
+// real sockets, one listener per hosted node — the implementation the
+// Transport interface always promised. A multi-process deployment runs
+// one node per OS process (cmd/sidco-node), each holding a TCPTransport
+// over a shared host list.
+//
 // The Engine ties the schedules to training: it satisfies
 // dist.GradientExchange, so a dist.Trainer can swap its in-process
 // reducer for a real exchange. Over the lossless FormatPairs64 wire
 // format the all-gather and parameter-server collectives sum decoded
 // contributions in worker-index order, reproducing the in-process
-// trainer's losses bit-for-bit.
+// trainer's losses bit-for-bit. Node is the per-process counterpart:
+// one cluster node plus a Workers=1 Trainer per process reproduces the
+// same losses over TCP.
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrClosed is wrapped by every transport error caused by Close rather
+// than by an invalid operation: schedule code distinguishes an engine
+// shutdown (expected, e.g. the parameter-server loop draining) from a
+// genuine failure with errors.Is(err, ErrClosed).
+var ErrClosed = errors.New("transport closed")
 
 // Transport moves opaque byte payloads between numbered nodes over
 // directed links. Implementations must preserve per-link FIFO order.
 // Payloads are immutable by convention: receivers must not modify them,
 // which lets ring schedules forward buffers without copying.
+//
+// Close semantics are deterministic, so a schedule torn down mid-flight
+// fails the same way every run: delivery is preferred over the shutdown
+// error. A Recv whose payload was already delivered locally returns that
+// payload, not the close error; a Send that has free link capacity at
+// the moment it observes the close still completes (the payload is
+// simply never read). Operations fail with an error wrapping ErrClosed
+// only when the transport is closed AND the operation would have to
+// block. TCPTransport matches this contract on the receive side exactly;
+// its sends additionally fail once the underlying sockets are torn down.
 type Transport interface {
 	// Nodes returns the number of addressable nodes.
 	Nodes() int
 	// Send delivers payload on the directed link from -> to. It may
 	// block until link capacity frees up; it errors once the transport
-	// is closed or on an invalid node id.
+	// is closed (and the link has no free capacity) or on an invalid
+	// node id.
 	Send(from, to int, payload []byte) error
 	// Recv blocks until a payload arrives on the link from -> to, and
-	// errors once the transport is closed or on an invalid node id.
+	// errors once the transport is closed (and no payload is
+	// deliverable) or on an invalid node id.
 	Recv(to, from int) ([]byte, error)
 	// Close tears the transport down, unblocking pending operations.
 	Close() error
 }
 
 // ChanTransport is the in-process Transport: one buffered Go channel per
-// directed link. It is the zero-dependency stand-in for a real fabric —
-// the Transport interface is what a TCP implementation would satisfy.
+// directed link. It is the zero-dependency stand-in for a real fabric;
+// TCPTransport is the real-socket implementation of the same contract.
 type ChanTransport struct {
 	n     int
 	links [][]chan []byte // links[from][to]
@@ -93,7 +121,11 @@ func (t *ChanTransport) check(from, to int) error {
 	return nil
 }
 
-// Send implements Transport.
+// Send implements Transport. The two-phase select makes the close race
+// deterministic: a select listing the link and done together lets Go's
+// random case choice report closure even while capacity is free, so the
+// link case is tried alone first, and retried once more after done fires
+// — Send fails only if the link is genuinely full at shutdown.
 func (t *ChanTransport) Send(from, to int, payload []byte) error {
 	if err := t.check(from, to); err != nil {
 		return err
@@ -101,12 +133,24 @@ func (t *ChanTransport) Send(from, to int, payload []byte) error {
 	select {
 	case t.links[from][to] <- payload:
 		return nil
+	default:
+	}
+	select {
+	case t.links[from][to] <- payload:
+		return nil
 	case <-t.done:
-		return fmt.Errorf("cluster: send %d->%d on closed transport", from, to)
+		select {
+		case t.links[from][to] <- payload:
+			return nil
+		default:
+			return fmt.Errorf("cluster: send %d->%d: %w", from, to, ErrClosed)
+		}
 	}
 }
 
-// Recv implements Transport.
+// Recv implements Transport, with the same deterministic preference for
+// delivery: a payload already sitting in the link is returned even when
+// the done case fired first in the combined select.
 func (t *ChanTransport) Recv(to, from int) ([]byte, error) {
 	if err := t.check(from, to); err != nil {
 		return nil, err
@@ -114,13 +158,17 @@ func (t *ChanTransport) Recv(to, from int) ([]byte, error) {
 	select {
 	case p := <-t.links[from][to]:
 		return p, nil
+	default:
+	}
+	select {
+	case p := <-t.links[from][to]:
+		return p, nil
 	case <-t.done:
-		// Drain anything already delivered before the close.
 		select {
 		case p := <-t.links[from][to]:
 			return p, nil
 		default:
-			return nil, fmt.Errorf("cluster: recv %d->%d on closed transport", to, from)
+			return nil, fmt.Errorf("cluster: recv %d->%d: %w", to, from, ErrClosed)
 		}
 	}
 }

@@ -384,6 +384,11 @@ func TestTargetKChunks(t *testing.T) {
 			[]int{0, 0, 0, 1, 0, 0, 0, 0}},
 		{"more chunks than elements", 3, 0.5, 6, // chunks 0,2,4 are empty ranges
 			[]int{0, 1, 0, 1, 0, 0}},
+		// d=3, C=8: five of the eight ranges are empty (c*d/C collides);
+		// they must get 0 without panicking or inflating the total, and
+		// the k=2 budget lands on the two lowest-index tied remainders.
+		{"d3 c8 collision-heavy split", 3, 0.5, 8,
+			[]int{0, 0, 1, 0, 0, 1, 0, 0}},
 		{"uneven ranges get proportional budgets", 10, 0.5, 3, // ranges 3,3,4
 			[]int{2, 1, 2}},
 		{"full keep", 7, 1, 3, []int{2, 2, 3}},

@@ -58,6 +58,15 @@ type TrainerConfig struct {
 	// Seed fixes every random stream (batch draws and randomized
 	// compressors).
 	Seed int64
+	// FirstWorker offsets this trainer's worker ids: local worker i
+	// behaves as global worker FirstWorker+i — its Batch calls and RNG
+	// stream are seeded by the global id. A multi-process deployment
+	// (cmd/sidco-node) runs one Workers=1 trainer per process with
+	// FirstWorker set to the process rank, so each process reproduces
+	// exactly the worker it owns and the union of processes draws the
+	// same batches as one in-process trainer with the full worker count.
+	// 0 (the default) is the single-process behaviour.
+	FirstWorker int
 	// Exchange aggregates the workers' gradients each step. Nil selects
 	// the in-process shared-memory reducer; internal/cluster plugs real
 	// message-passing collectives in here. Exchanges that sum in
@@ -121,6 +130,9 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("dist: Workers = %d, need >= 1", cfg.Workers)
 	}
+	if cfg.FirstWorker < 0 {
+		return nil, fmt.Errorf("dist: FirstWorker = %d, need >= 0", cfg.FirstWorker)
+	}
 	if cfg.Model == nil || cfg.Loss == nil || cfg.Opt == nil || cfg.Batch == nil {
 		return nil, fmt.Errorf("dist: Model, Loss, Opt and Batch are all required")
 	}
@@ -158,8 +170,8 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 			}
 		}
 		t.workers[w] = &worker{
-			id:     w,
-			rng:    rand.New(rand.NewSource(workerSeed(cfg.Seed, w))),
+			id:     cfg.FirstWorker + w,
+			rng:    rand.New(rand.NewSource(workerSeed(cfg.Seed, cfg.FirstWorker+w))),
 			comp:   comp,
 			flat:   make([]float64, dim),
 			sparse: &tensor.Sparse{Dim: dim},

@@ -3,6 +3,7 @@ package dist
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/compress"
@@ -154,6 +155,66 @@ func TestOnGradientTapSeesEveryIteration(t *testing.T) {
 		if dims[i] != tr.Dim() {
 			t.Errorf("tap gradient length %d, want %d", dims[i], tr.Dim())
 		}
+	}
+}
+
+// TestFirstWorkerReproducesGlobalStreams pins the contract behind
+// multi-process training: a Workers=1 trainer with FirstWorker=r must
+// hand its Batch callback global worker id r and the exact RNG stream
+// worker r of a full-width trainer draws — so the union of per-process
+// trainers consumes the same batches as one in-process trainer.
+func TestFirstWorkerReproducesGlobalStreams(t *testing.T) {
+	const seed, steps = 5, 3
+	draws := func(workers, firstWorker int) map[int][]float64 {
+		rng := rand.New(rand.NewSource(seed))
+		model := nn.NewSequential(nn.NewDense("d", 4, 2, rng))
+		got := map[int][]float64{}
+		var mu sync.Mutex // Batch runs concurrently across workers
+		tr, err := NewTrainer(TrainerConfig{
+			Workers: workers,
+			Model:   model,
+			Loss:    &nn.SoftmaxCrossEntropy{},
+			Opt:     &nn.SGD{LR: 0.01},
+			Batch: func(worker int, rng *rand.Rand) (*nn.Tensor, []int) {
+				mu.Lock()
+				got[worker] = append(got[worker], rng.Float64())
+				mu.Unlock()
+				x := nn.NewTensor(1, 4)
+				return x, []int{0}
+			},
+			Seed:        seed,
+			FirstWorker: firstWorker,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := tr.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	full := draws(3, 0)
+	if len(full) != 3 {
+		t.Fatalf("full trainer drew for %d workers, want 3", len(full))
+	}
+	for rank := 0; rank < 3; rank++ {
+		solo := draws(1, rank)
+		stream, ok := solo[rank]
+		if !ok {
+			t.Fatalf("FirstWorker=%d trainer passed ids %v to Batch, want [%d]", rank, solo, rank)
+		}
+		if len(stream) != steps {
+			t.Fatalf("rank %d drew %d batches, want %d", rank, len(stream), steps)
+		}
+		for i := range stream {
+			if stream[i] != full[rank][i] {
+				t.Fatalf("rank %d draw %d = %v, full trainer's worker %d drew %v (streams must match)",
+					rank, i, stream[i], rank, full[rank][i])
+			}
+		}
+	}
+	if _, err := NewTrainer(TrainerConfig{Workers: 1, FirstWorker: -1}); err == nil {
+		t.Error("negative FirstWorker should error")
 	}
 }
 

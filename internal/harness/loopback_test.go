@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLoopbackStudy runs the four-way comparison end to end over real
+// loopback sockets: the study itself errors if the per-rank node
+// deployment disagrees with itself, and the rendered table must report
+// exact traffic and an all-zero diff column (bit-identity of every mode
+// against the in-process trainer).
+func TestLoopbackStudy(t *testing.T) {
+	var buf bytes.Buffer
+	err := LoopbackStudy(&buf, LoopbackStudyConfig{Workers: 3, Iters: 3, Compressor: "topk", Chunks: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "exact=true") {
+		t.Errorf("traffic cross-check not exact:\n%s", out)
+	}
+	if strings.Contains(out, "exact=false") {
+		t.Errorf("traffic mismatch reported:\n%s", out)
+	}
+	// Every data row ends in the max-|diff| column; bit-identity means
+	// each one renders as exactly "0".
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 6 && fields[0] != "iter" && !strings.HasPrefix(fields[0], "-") && !strings.Contains(line, "—") {
+			rows++
+			if fields[5] != "0" {
+				t.Errorf("iteration %s: max |diff| = %s, want 0 (bit-identity):\n%s", fields[0], fields[5], out)
+			}
+		}
+	}
+	if rows != 3 {
+		t.Errorf("found %d data rows, want 3:\n%s", rows, out)
+	}
+}
