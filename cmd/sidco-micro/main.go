@@ -10,6 +10,15 @@
 //	sidco-micro -fig 16           # synthetic tensor sweep (also 17)
 //	sidco-micro -fig wallclock    # real Go timings on this machine
 //	sidco-micro -fig all
+//	sidco-micro -json             # machine-readable bench record to stdout
+//
+// -json emits a sidco-bench/v1 record (see internal/harness.BenchReport):
+// compressor wall-clock throughput plus measured collective step time and
+// exact message/byte traffic, at fixed parameters so successive runs are
+// comparable. The committed baseline lives in BENCH_pipeline.json at the
+// repo root; regenerate it with
+//
+//	go run ./cmd/sidco-micro -json > BENCH_pipeline.json
 package main
 
 import (
@@ -26,6 +35,7 @@ func main() {
 	scale := flag.Int("scale", 100, "dimension divisor for statistical streams")
 	seed := flag.Int64("seed", 1, "random seed")
 	dim := flag.Int("dim", 2_000_000, "dimension for -fig wallclock")
+	jsonOut := flag.Bool("json", false, "emit a sidco-bench/v1 JSON bench record to stdout and exit")
 	flag.Parse()
 
 	opt := harness.Options{Iters: *iters, SimScale: *scale, Seed: *seed}
@@ -36,6 +46,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sidco-micro: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+	if *jsonOut {
+		// Fixed default parameters (only the seed is taken from flags) so
+		// every emitted record is comparable with the committed baseline.
+		run("bench", func() error { return harness.WriteBenchJSON(w, harness.BenchOptions{Seed: *seed}) })
+		return
 	}
 	switch *fig {
 	case "1":

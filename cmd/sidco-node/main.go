@@ -19,18 +19,33 @@
 //	sidco-node -launch 4 -collective ps -chunks 0 -compressor topk
 //	sidco-node -node 0 -hosts host0:7000,host1:7000,host2:7000 -iters 8
 //	sidco-node -node 2 -hostfile hosts.txt -collective allgather -chunks 4 -check
+//	sidco-node -launch 4 -metrics auto -check   # + per-process /metrics endpoints, scrape-verified
 //
 // -launch spawns the whole deployment on this machine (kernel-assigned
 // loopback ports) and exits non-zero if any process fails its checks —
 // the CI quick gate runs exactly that.
+//
+// Observability: -metrics ADDR serves this process's live telemetry
+// over HTTP (/metrics in Prometheus plaintext, /healthz, /debug/pprof;
+// ADDR "auto" binds a kernel-assigned loopback port and prints it), and
+// -telemetry FILE streams every span and counter event as JSONL. With
+// both -metrics and -check, the process scrapes its own endpoint over
+// real HTTP after the run and asserts the exported byte/message
+// counters equal the Instrumented totals and the collective's netsim
+// message formula — the exporter is gated end to end, not just the
+// in-memory counters. Under -launch both flags are forwarded to every
+// child (-telemetry FILE becomes FILE.rankR per process).
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
@@ -42,6 +57,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/netsim"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 type options struct {
@@ -56,6 +72,8 @@ type options struct {
 	delta         float64
 	seed          int64
 	check         bool
+	metrics       string
+	telemetryPath string
 	dialTimeout   time.Duration
 	launchTimeout time.Duration
 }
@@ -73,6 +91,8 @@ func main() {
 	flag.Float64Var(&opt.delta, "delta", 0.05, "compression ratio k/d")
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
 	flag.BoolVar(&opt.check, "check", false, "verify global losses bit-identical to the in-process trainer and per-node traffic against the collective formulas")
+	flag.StringVar(&opt.metrics, "metrics", "", "serve /metrics, /healthz and /debug/pprof on this address (\"auto\": kernel-assigned loopback port)")
+	flag.StringVar(&opt.telemetryPath, "telemetry", "", "stream telemetry events as JSONL to this file (per-rank suffix under -launch)")
 	flag.DurationVar(&opt.dialTimeout, "dial-timeout", 10*time.Second, "per-link lazy-dial retry budget (peers may start later)")
 	flag.DurationVar(&opt.launchTimeout, "launch-timeout", 2*time.Minute, "watchdog for -launch: kill the deployment and fail if it has not finished by then")
 	flag.Parse()
@@ -131,11 +151,74 @@ func parseHosts(opt options) ([]string, error) {
 	return hosts, nil
 }
 
+// nodeTelemetry is one process's observability stack: the tracer fans
+// events into an aggregator (scraped over HTTP when -metrics is set)
+// and an optional JSONL stream.
+type nodeTelemetry struct {
+	tracer *telemetry.Tracer
+	agg    *telemetry.Aggregator
+	jsonl  *telemetry.JSONL
+	file   *os.File
+	srv    *http.Server
+	addr   string // bound metrics address, "" when -metrics is off
+}
+
+// setupTelemetry builds the stack for the flags; with neither flag set
+// it returns a disabled stack (nil tracer — the zero-cost path).
+func setupTelemetry(opt options) (*nodeTelemetry, error) {
+	nt := &nodeTelemetry{}
+	if opt.metrics == "" && opt.telemetryPath == "" {
+		return nt, nil
+	}
+	var sinks []telemetry.Sink
+	nt.agg = telemetry.NewAggregator()
+	sinks = append(sinks, nt.agg)
+	if opt.telemetryPath != "" {
+		f, err := os.Create(opt.telemetryPath)
+		if err != nil {
+			return nil, fmt.Errorf("-telemetry: %w", err)
+		}
+		nt.file = f
+		nt.jsonl = telemetry.NewJSONL(f)
+		sinks = append(sinks, nt.jsonl)
+	}
+	nt.tracer = telemetry.New(sinks...)
+	if opt.metrics != "" {
+		addr := opt.metrics
+		if addr == "auto" {
+			addr = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			nt.close()
+			return nil, fmt.Errorf("-metrics %s: %w", opt.metrics, err)
+		}
+		nt.addr = ln.Addr().String()
+		nt.srv = &http.Server{Handler: telemetry.Handler(nt.agg)}
+		go nt.srv.Serve(ln)
+		fmt.Printf("node %d: metrics on http://%s/metrics\n", opt.node, nt.addr)
+	}
+	return nt, nil
+}
+
+// close flushes the JSONL stream and stops the metrics server.
+func (nt *nodeTelemetry) close() {
+	if nt.srv != nil {
+		nt.srv.Close()
+	}
+	if nt.jsonl != nil {
+		nt.jsonl.Flush()
+	}
+	if nt.file != nil {
+		nt.file.Close()
+	}
+}
+
 // trainerFor builds the demo workload (the same model and batch stream
 // as cmd/sidco-cluster) at any (workers, firstWorker) split, so N
 // single-worker processes draw exactly the batches of one N-worker
-// in-process trainer.
-func trainerFor(opt options, workers, firstWorker int, ex dist.GradientExchange) (*dist.Trainer, error) {
+// in-process trainer. tel is nil for the telemetry-free reference run.
+func trainerFor(opt options, workers, firstWorker int, ex dist.GradientExchange, tel *telemetry.Tracer) (*dist.Trainer, error) {
 	rng := rand.New(rand.NewSource(opt.seed))
 	model := nn.NewSequential(
 		nn.NewDense("d1", 16, 12, rng),
@@ -168,6 +251,7 @@ func trainerFor(opt options, workers, firstWorker int, ex dist.GradientExchange)
 		EC:            factory != nil,
 		Seed:          opt.seed,
 		Exchange:      ex,
+		Telemetry:     tel,
 	})
 }
 
@@ -194,10 +278,16 @@ func runNode(opt options) error {
 	if opt.node >= len(hosts) {
 		return fmt.Errorf("-node %d outside the %d-host list", opt.node, len(hosts))
 	}
+	nt, err := setupTelemetry(opt)
+	if err != nil {
+		return err
+	}
+	defer nt.close()
 	tp, err := cluster.NewTCPTransport(cluster.TCPConfig{
 		Addrs:       hosts,
 		Local:       []int{opt.node},
 		DialTimeout: opt.dialTimeout,
+		Telemetry:   nt.tracer,
 	})
 	if err != nil {
 		return err
@@ -209,6 +299,7 @@ func runNode(opt options) error {
 		Collective: coll,
 		Chunks:     opt.chunks,
 		Transport:  tp,
+		Telemetry:  nt.tracer,
 	})
 	if err != nil {
 		return err
@@ -220,7 +311,7 @@ func runNode(opt options) error {
 		fmt.Printf("node %d (server): served %d rounds\n", opt.node, opt.iters)
 		return nil
 	}
-	tr, err := trainerFor(opt, 1, opt.node, nd)
+	tr, err := trainerFor(opt, 1, opt.node, nd, nt.tracer)
 	if err != nil {
 		return err
 	}
@@ -241,7 +332,7 @@ func runNode(opt options) error {
 	}
 	fmt.Printf("node %d: final global loss %.17g over %d iterations\n", opt.node, losses[len(losses)-1], opt.iters)
 	if opt.check {
-		return checkNodeRun(opt, coll, workers, nd, losses)
+		return checkNodeRun(opt, coll, workers, nd, nt, losses)
 	}
 	return nil
 }
@@ -261,9 +352,11 @@ func printLosses(opt options, coll netsim.Collective, losses []float64) {
 // checkNodeRun asserts this process saw exactly the run the in-process
 // trainer produces: bit-identical global losses (for the
 // order-preserving collectives over the lossless wire) and per-node
-// traffic matching the collective step formulas.
-func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.Node, losses []float64) error {
-	ref, err := trainerFor(opt, workers, 0, nil)
+// traffic matching the collective step formulas. With -metrics it
+// additionally scrapes this process's own HTTP endpoint and asserts
+// the exported counters agree.
+func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.Node, nt *nodeTelemetry, losses []float64) error {
+	ref, err := trainerFor(opt, workers, 0, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -303,11 +396,93 @@ func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.
 	if msgs, _ := nd.Transport().RecvTotals(); msgs != wantMsgs {
 		return fmt.Errorf("check: received %d gradient messages, formula says %d", msgs, wantMsgs)
 	}
+	if nt.addr != "" {
+		if err := checkMetricsEndpoint(nt.addr, nd, wantMsgs); err != nil {
+			return err
+		}
+	}
 	mode := "bit-identical to in-process"
 	if !bitwise {
 		mode = "within ring tolerance of in-process"
 	}
 	fmt.Printf("node %d: check passed — losses %s, traffic exact (%d msgs)\n", opt.node, mode, wantMsgs)
+	return nil
+}
+
+// checkMetricsEndpoint scrapes this process's own /healthz and /metrics
+// over real HTTP and asserts the exported totals equal the instrumented
+// transport's exact counters and the collective's message formula — the
+// full export path (aggregation, Prometheus rendering, HTTP serving) is
+// verified against ground truth, so the observability layer is provably
+// not lying about this run.
+func checkMetricsEndpoint(addr string, nd *cluster.Node, wantMsgs int) error {
+	get := func(path string) (string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", fmt.Errorf("check: GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", fmt.Errorf("check: reading %s: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("check: GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), nil
+	}
+	health, err := get("/healthz")
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(health) != "ok" {
+		return fmt.Errorf("check: /healthz said %q, want ok", strings.TrimSpace(health))
+	}
+	text, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	vals, err := telemetry.ParseProm(text)
+	if err != nil {
+		return err
+	}
+	sentMsgs, sentBytes := nd.Transport().Totals()
+	recvMsgs, recvBytes := nd.Transport().RecvTotals()
+	for _, c := range []struct {
+		metric string
+		want   int
+	}{
+		{"sidco_sent_messages_total", sentMsgs},
+		{"sidco_sent_bytes_total", sentBytes},
+		{"sidco_recv_messages_total", recvMsgs},
+		{"sidco_recv_bytes_total", recvBytes},
+	} {
+		got, ok := vals[c.metric]
+		if !ok {
+			return fmt.Errorf("check: /metrics did not export %s", c.metric)
+		}
+		if got != float64(c.want) {
+			return fmt.Errorf("check: /metrics %s = %v, instrumented transport says %d", c.metric, got, c.want)
+		}
+	}
+	if got := vals["sidco_sent_messages_total"]; got != float64(wantMsgs) {
+		return fmt.Errorf("check: /metrics sidco_sent_messages_total = %v, collective formula says %d", got, wantMsgs)
+	}
+	// The per-link byte counters must partition the totals exactly.
+	var linkSent, linkRecv float64
+	for name, v := range vals {
+		if strings.HasPrefix(name, "sidco_link_sent_bytes_total{") {
+			linkSent += v
+		}
+		if strings.HasPrefix(name, "sidco_link_recv_bytes_total{") {
+			linkRecv += v
+		}
+	}
+	if linkSent != float64(sentBytes) || linkRecv != float64(recvBytes) {
+		return fmt.Errorf("check: per-link bytes sum to %v sent / %v recv, instrumented transport says %d / %d",
+			linkSent, linkRecv, sentBytes, recvBytes)
+	}
+	fmt.Printf("metrics endpoint verified: %d msgs, %d bytes sent match formula + instrumented totals\n", sentMsgs, sentBytes)
 	return nil
 }
 
@@ -358,6 +533,14 @@ func runLaunch(opt options) error {
 		}
 		if opt.check {
 			args = append(args, "-check")
+		}
+		if opt.metrics != "" {
+			// Children cannot share a fixed address; each binds its own
+			// kernel-assigned loopback port (printed in its output).
+			args = append(args, "-metrics", "127.0.0.1:0")
+		}
+		if opt.telemetryPath != "" {
+			args = append(args, "-telemetry", fmt.Sprintf("%s.rank%d", opt.telemetryPath, rank))
 		}
 		c := &child{rank: rank, cmd: exec.Command(exe, args...)}
 		c.cmd.Stdout = &c.out

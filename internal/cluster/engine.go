@@ -7,6 +7,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/encoding"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -54,6 +55,13 @@ type Config struct {
 	// hide behind in-flight communication (scaled per node by the
 	// scenario's straggler factors).
 	CompressSec float64
+	// Telemetry, if non-nil, traces every round (per-node collective
+	// spans, per-chunk encode spans) and the gradient traffic on the
+	// instrumented transport (per-link sent/recv message and byte
+	// counters, receive-wait time). Telemetry totals equal
+	// Transport().Totals()/RecvTotals() exactly — same layer, same
+	// events. Nil (the default) costs nothing.
+	Telemetry *telemetry.Tracer
 	// Verify makes every exchange cross-check that all nodes computed
 	// identical aggregates (a distributed-consistency assertion for
 	// tests; it costs O(N*d) comparisons per step).
@@ -224,7 +232,8 @@ func New(cfg Config) (*Engine, error) {
 			chunks:      cfg.Chunks,
 			computeSec:  cfg.ComputeSec,
 			compressSec: cfg.CompressSec,
-			tp:          NewInstrumented(inner, cfg.Scenario),
+			tp:          NewInstrumented(inner, cfg.Scenario).WithTelemetry(cfg.Telemetry),
+			tel:         cfg.Telemetry,
 		},
 		jobs:    make([]chan job, cfg.Workers),
 		results: make(chan result, nodes),
@@ -351,8 +360,11 @@ func (e *Engine) workerLoop(w int) {
 func (e *Engine) serverLoop() {
 	defer e.wg.Done()
 	var srv psServer
-	for {
-		if err := srv.round(e.sched.tp, e.sched.server, e.cfg.Workers, e.sched.format); err != nil {
+	for round := int64(0); ; round++ {
+		span := e.sched.tel.Begin(telemetry.SpanCollective, e.sched.server, -1, -1, round)
+		err := srv.round(e.sched.tp, e.sched.server, e.cfg.Workers, e.sched.format)
+		span.End()
+		if err != nil {
 			// A server failure is fatal to the cluster: close the
 			// transport so workers blocked on their pull unblock with an
 			// error instead of hanging, then report and exit. (On a

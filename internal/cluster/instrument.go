@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // Link names a directed transport link.
@@ -80,6 +81,7 @@ func (s *Scenario) transfer(from, to, bytes int) float64 {
 type Instrumented struct {
 	inner Transport
 	scen  *Scenario
+	tel   *telemetry.Tracer
 
 	mu         sync.Mutex
 	stats      map[Link]*LinkStats
@@ -112,6 +114,19 @@ func NewInstrumented(inner Transport, scen *Scenario) *Instrumented {
 	}
 }
 
+// WithTelemetry attaches a tracer and returns the receiver: every Send
+// emits sent-message/byte counter events and every Recv emits
+// recv-message/byte counters plus the wall-clock nanoseconds the call
+// spent blocked (CounterRecvWaitNanos — the straggler + network wait of
+// a synchronous schedule). The events mirror this wrapper's own exact
+// counters, at the same layer, so telemetry totals must equal Totals()
+// and RecvTotals() — the cross-check the tests assert. A nil tracer
+// (the default) costs nothing.
+func (t *Instrumented) WithTelemetry(tel *telemetry.Tracer) *Instrumented {
+	t.tel = tel
+	return t
+}
+
 // Nodes implements Transport.
 func (t *Instrumented) Nodes() int { return t.inner.Nodes() }
 
@@ -137,15 +152,26 @@ func (t *Instrumented) Send(from, to int, payload []byte) error {
 		t.stamps[l] = append(t.stamps[l], start)
 	}
 	t.mu.Unlock()
+	t.tel.Count(telemetry.CounterSentMessages, from, to, 1)
+	t.tel.Count(telemetry.CounterSentBytes, from, to, int64(len(payload)))
 	return t.inner.Send(from, to, payload)
 }
 
 // Recv implements Transport, advancing the receiver's clock once the
 // payload arrives.
 func (t *Instrumented) Recv(to, from int) ([]byte, error) {
+	var t0 int64
+	if t.tel.Enabled() {
+		t0 = telemetry.Monotonic()
+	}
 	payload, err := t.inner.Recv(to, from)
 	if err != nil {
 		return nil, err
+	}
+	if t.tel.Enabled() {
+		t.tel.Count(telemetry.CounterRecvWaitNanos, to, from, telemetry.Monotonic()-t0)
+		t.tel.Count(telemetry.CounterRecvMessages, from, to, 1)
+		t.tel.Count(telemetry.CounterRecvBytes, from, to, int64(len(payload)))
 	}
 	t.mu.Lock()
 	l := Link{from, to}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/encoding"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -24,6 +25,7 @@ type sched struct {
 	computeSec  float64
 	compressSec float64
 	tp          *Instrumented
+	tel         *telemetry.Tracer
 }
 
 // nodeScratch is one node's reusable pipeline storage: encode buffers
@@ -50,8 +52,16 @@ func (s *sched) chunkCount() int {
 }
 
 // runWorker executes worker node w's half of one exchange, leaving the
-// aggregated mean in out (which must have jb.dim elements).
+// aggregated mean in out (which must have jb.dim elements). The whole
+// round is traced as one collective span per node.
 func (s *sched) runWorker(w int, jb job, sc *nodeScratch, out []float64) error {
+	span := s.tel.Begin(telemetry.SpanCollective, w, -1, -1, int64(jb.step))
+	err := s.runCollective(w, jb, sc, out)
+	span.End()
+	return err
+}
+
+func (s *sched) runCollective(w int, jb job, sc *nodeScratch, out []float64) error {
 	if s.computeSec > 0 {
 		s.tp.Compute(w, s.computeSec)
 	}
@@ -84,7 +94,9 @@ func (s *sched) runWorker(w int, jb job, sc *nodeScratch, out []float64) error {
 			return err
 		}
 		sc.enc = growSlots(sc.enc, 1)
+		es := s.tel.Begin(telemetry.SpanEncode, w, -1, -1, int64(jb.step))
 		sc.enc[0], err = encoding.EncodeTo(sc.enc[0][:0], sp, s.format)
+		es.End()
 		if err != nil {
 			return err
 		}
@@ -161,7 +173,9 @@ func (s *sched) runAllGather(w int, jb job, sc *nodeScratch, out []float64) erro
 			sc.view = tensor.Sparse{Dim: jb.dim, Idx: sp.Idx[pos:end], Vals: sp.Vals[pos:end]}
 			pos = end
 			var err error
+			es := s.tel.Begin(telemetry.SpanEncode, w, -1, encoded, int64(jb.step))
 			sc.enc[encoded], err = encoding.EncodeTo(sc.enc[encoded][:0], &sc.view, s.format)
+			es.End()
 			if err != nil {
 				return err
 			}
@@ -323,6 +337,12 @@ type NodeConfig struct {
 	// transport (meaningful for single-process loopback studies; in a
 	// real multi-process run each process only sees its own clock).
 	Scenario *Scenario
+	// Telemetry, if non-nil, traces this node's rounds (collective and
+	// encode spans) and its gradient traffic (per-link sent/recv
+	// message and byte counters, receive-wait time) — the counters are
+	// emitted at the Instrumented layer, so telemetry totals equal
+	// Transport().Totals()/RecvTotals() exactly. Nil is free.
+	Telemetry *telemetry.Tracer
 }
 
 // Node is one cluster node in a process of its own: the per-process
@@ -396,7 +416,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			chunks:      cfg.Chunks,
 			computeSec:  cfg.ComputeSec,
 			compressSec: cfg.CompressSec,
-			tp:          NewInstrumented(cfg.Transport, cfg.Scenario),
+			tp:          NewInstrumented(cfg.Transport, cfg.Scenario).WithTelemetry(cfg.Telemetry),
+			tel:         cfg.Telemetry,
 		},
 	}, nil
 }
@@ -488,7 +509,10 @@ func (n *Node) Serve(rounds int) error {
 	}
 	var srv psServer
 	for served := 0; rounds <= 0 || served < rounds; served++ {
-		if err := srv.round(n.sched.tp, n.sched.server, n.cfg.Workers, n.sched.format); err != nil {
+		span := n.sched.tel.Begin(telemetry.SpanCollective, n.cfg.Rank, -1, -1, int64(served))
+		err := srv.round(n.sched.tp, n.sched.server, n.cfg.Workers, n.sched.format)
+		span.End()
+		if err != nil {
 			n.closed = true
 			if errors.Is(err, ErrClosed) {
 				return nil

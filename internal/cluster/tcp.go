@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // TCPConfig assembles a TCPTransport.
@@ -26,6 +28,15 @@ type TCPConfig struct {
 	// to a node keeps retrying the connection until this budget runs
 	// out. Zero means 10 seconds.
 	DialTimeout time.Duration
+	// Telemetry, if non-nil, records transport-level events: raw wire
+	// bytes per directed link (payloads + 4-byte frame headers + the
+	// 12-byte handshake, on both the write and the read side), a dial
+	// span per established connection, and a counter of retried dial
+	// attempts. These sit below the gradient-traffic counters the
+	// Instrumented wrapper emits: wire_sent bytes on a link exceed the
+	// payload bytes by exactly 4 per message plus 12 per connection.
+	// Nil is free.
+	Telemetry *telemetry.Tracer
 }
 
 // tcpMagic opens every connection's handshake frame, so a stray client
@@ -55,6 +66,7 @@ type TCPTransport struct {
 	addrs       []string
 	local       []bool
 	dialTimeout time.Duration
+	tel         *telemetry.Tracer
 
 	lns   []net.Listener       // per hosted node, nil elsewhere
 	inbox map[Link]chan []byte // links into hosted nodes
@@ -90,6 +102,7 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 		addrs:       append([]string(nil), cfg.Addrs...),
 		local:       make([]bool, n),
 		dialTimeout: cfg.DialTimeout,
+		tel:         cfg.Telemetry,
 		lns:         make([]net.Listener, n),
 		inbox:       make(map[Link]chan []byte),
 		done:        make(chan struct{}),
@@ -210,6 +223,7 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 	if _, err := sl.conn.Write(payload); err != nil {
 		return t.sendErr(from, to, err)
 	}
+	t.tel.Count(telemetry.CounterWireSentBytes, from, to, int64(4+len(payload)))
 	return nil
 }
 
@@ -238,6 +252,7 @@ func (t *TCPTransport) sendLink(from, to int) *tcpSendLink {
 // Peers of a multi-process launch start at different times, so refused
 // connections are retried with backoff until DialTimeout.
 func (t *TCPTransport) dial(from, to int) (net.Conn, error) {
+	span := t.tel.Begin(telemetry.SpanDial, from, to, -1, -1)
 	deadline := time.Now().Add(t.dialTimeout)
 	backoff := 10 * time.Millisecond
 	for {
@@ -262,6 +277,8 @@ func (t *TCPTransport) dial(from, to int) (net.Conn, error) {
 				conn.Close()
 				return nil, fmt.Errorf("cluster: dial %d->%d: %w", from, to, ErrClosed)
 			}
+			t.tel.Count(telemetry.CounterWireSentBytes, from, to, int64(len(hs)))
+			span.End() // only successful establishments are recorded
 			return conn, nil
 		}
 		if time.Now().After(deadline) {
@@ -270,6 +287,7 @@ func (t *TCPTransport) dial(from, to int) (net.Conn, error) {
 			}
 			return nil, fmt.Errorf("cluster: dial %d->%d (%s): %w", from, to, t.addrs[to], err)
 		}
+		t.tel.Count(telemetry.CounterDialRetries, from, to, 1)
 		time.Sleep(backoff)
 		if backoff < 250*time.Millisecond {
 			backoff *= 2
@@ -367,6 +385,7 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 		conn.Close()
 		return
 	}
+	t.tel.Count(telemetry.CounterWireRecvBytes, from, to, int64(len(hs)))
 	ch := t.inbox[Link{from, to}]
 	fail := func() {
 		conn.Close()
@@ -394,6 +413,7 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 			fail()
 			return
 		}
+		t.tel.Count(telemetry.CounterWireRecvBytes, from, to, int64(4+size))
 		select {
 		case ch <- payload:
 		case <-t.done:

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -74,6 +75,12 @@ type TrainerConfig struct {
 	// parameter-server over encoding.FormatPairs64) reproduce the
 	// in-process losses bit-for-bit.
 	Exchange GradientExchange
+	// Telemetry, if non-nil, traces every step's phases: a step span
+	// plus per-worker compute and compress spans, trainer-level
+	// exchange and apply spans, and a steps counter (node-attributed to
+	// FirstWorker). A nil tracer is free: the instrumentation calls are
+	// no-ops and the steady-state step stays allocation-free.
+	Telemetry *telemetry.Tracer
 	// OnGradient, if set, observes worker 0's gradient each iteration
 	// exactly as its compressor sees it: after clipping and, under EC,
 	// with the carried residual added (internal/trace.Recorder hooks in
@@ -200,6 +207,10 @@ func (t *Trainer) Params() []*nn.Param { return t.params }
 // localGradient runs one worker's half-step: batch draw, forward,
 // backward, clip, and compression. Only the model pass holds the mutex.
 func (t *Trainer) localGradient(w *worker) error {
+	// The model pass includes lock wait: with several workers the mutex
+	// serialises the passes, and that contention is part of what the
+	// compute span is for.
+	cs := t.cfg.Telemetry.Begin(telemetry.SpanCompute, w.id, -1, -1, int64(t.iter))
 	x, targets := t.cfg.Batch(w.id, w.rng)
 
 	t.modelMu.Lock()
@@ -215,6 +226,7 @@ func (t *Trainer) localGradient(w *worker) error {
 	if t.cfg.ClipNorm > 0 {
 		nn.ClipFlatNorm(w.flat, t.cfg.ClipNorm)
 	}
+	cs.End()
 	if w.id == 0 {
 		t.tapGradient(w)
 	}
@@ -225,7 +237,10 @@ func (t *Trainer) localGradient(w *worker) error {
 	// The selection lands in the worker's reused sparse scratch: the
 	// exchange consumes it synchronously inside Step, so by the next
 	// iteration no one holds a reference and the storage can be recycled.
-	if err := w.comp.CompressInto(w.sparse, w.flat, t.cfg.Delta); err != nil {
+	ks := t.cfg.Telemetry.Begin(telemetry.SpanCompress, w.id, -1, -1, int64(t.iter))
+	err := w.comp.CompressInto(w.sparse, w.flat, t.cfg.Delta)
+	ks.End()
+	if err != nil {
 		return fmt.Errorf("dist: worker %d: %w", w.id, err)
 	}
 	w.ratio = float64(w.sparse.NNZ()) / float64(t.k)
@@ -265,6 +280,7 @@ func (t *Trainer) stepWorker(w *worker) {
 // Step runs one synchronous iteration and returns the mean training loss
 // across workers.
 func (t *Trainer) Step() (float64, error) {
+	ss := t.cfg.Telemetry.Begin(telemetry.SpanStep, t.cfg.FirstWorker, -1, -1, int64(t.iter))
 	if len(t.workers) == 1 {
 		// Single-worker training needs no barrier; running inline keeps
 		// the steady-state step allocation-free.
@@ -295,15 +311,22 @@ func (t *Trainer) Step() (float64, error) {
 		loss += w.loss
 		ratio += w.ratio
 	}
-	if err := t.exchange.Exchange(t.iter, t.ins, t.agg); err != nil {
+	xs := t.cfg.Telemetry.Begin(telemetry.SpanExchange, t.cfg.FirstWorker, -1, -1, int64(t.iter))
+	err := t.exchange.Exchange(t.iter, t.ins, t.agg)
+	xs.End()
+	if err != nil {
 		return 0, fmt.Errorf("dist: exchange at step %d: %w", t.iter, err)
 	}
 	inv := 1 / float64(len(t.workers))
 	loss *= inv
 	t.LastRatio = ratio * inv
 
+	as := t.cfg.Telemetry.Begin(telemetry.SpanApply, t.cfg.FirstWorker, -1, -1, int64(t.iter))
 	t.cfg.Opt.StepFlat(t.params, t.agg)
+	as.End()
 	t.iter++
+	t.cfg.Telemetry.Count(telemetry.CounterSteps, t.cfg.FirstWorker, -1, 1)
+	ss.End()
 	return loss, nil
 }
 

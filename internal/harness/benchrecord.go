@@ -1,0 +1,276 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/compress"
+	"repro/internal/dist"
+	"repro/internal/netsim"
+	"repro/internal/simgrad"
+)
+
+// BenchSchema identifies the machine-readable bench record format. Bump
+// the version suffix when a field changes meaning; adding fields is
+// backward compatible and does not.
+const BenchSchema = "sidco-bench/v1"
+
+// BenchReport is the machine-readable perf baseline emitted by
+// `sidco-micro -json` and committed as BENCH_pipeline.json: real Go
+// wall-clock numbers for every compressor plus measured step time and
+// exact traffic for each collective. Timings are machine-dependent
+// (compare runs from the same machine); message counts are exact and
+// machine-independent — PredictedMessages restates the netsim closed
+// form so a reader can verify the engine against the model from the
+// JSON alone.
+type BenchReport struct {
+	Schema      string            `json:"schema"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	Compressors []CompressorBench `json:"compressors"`
+	Collectives []CollectiveBench `json:"collectives"`
+}
+
+// CompressorBench is one compressor's wall-clock measurement: mean
+// seconds per Compress call on a double-gamma synthetic gradient, the
+// implied input throughput, and the achieved-vs-target selection ratio.
+type CompressorBench struct {
+	Name      string  `json:"name"`
+	Dim       int     `json:"dim"`
+	Delta     float64 `json:"delta"`
+	Iters     int     `json:"iters"`
+	MeanSec   float64 `json:"mean_sec"`
+	MBPerSec  float64 `json:"mb_per_s"`
+	KHatOverK float64 `json:"khat_over_k"`
+}
+
+// CollectiveBench is one collective's measured exchange: mean wall
+// seconds per full exchange over the in-process ChanTransport, the
+// total messages and payload bytes the instrumented transport counted
+// across all iterations, and the message count the netsim closed form
+// predicts for the same run. Messages must equal PredictedMessages
+// exactly — the harness test asserts it.
+type CollectiveBench struct {
+	Collective        string  `json:"collective"`
+	Workers           int     `json:"workers"`
+	Chunks            int     `json:"chunks"`
+	Dim               int     `json:"dim"`
+	Delta             float64 `json:"delta"`
+	Iters             int     `json:"iters"`
+	StepWallSec       float64 `json:"step_wall_sec"`
+	Messages          int     `json:"messages"`
+	Bytes             int     `json:"bytes"`
+	PredictedMessages int     `json:"predicted_messages"`
+}
+
+// BenchOptions scales the bench record; zero values take full defaults
+// (the parameters of the committed baseline).
+type BenchOptions struct {
+	// Dim is the gradient dimension for compressor benches (default 1M).
+	Dim int
+	// Delta is the compressor target ratio (default 0.001).
+	Delta float64
+	// Iters is the runs averaged per compressor (default 3).
+	Iters int
+	// Workers is the collective fan-out (default 4).
+	Workers int
+	// CollectiveDim is the gradient dimension for collective benches
+	// (default 65536).
+	CollectiveDim int
+	// CollectiveDelta is the sparsification ratio for collective benches
+	// (default 0.01).
+	CollectiveDelta float64
+	// CollectiveIters is the exchanges averaged per collective
+	// (default 3).
+	CollectiveIters int
+	// Seed fixes the synthetic gradient streams.
+	Seed int64
+}
+
+func (o BenchOptions) withDefaults() BenchOptions {
+	if o.Dim <= 0 {
+		o.Dim = 1_000_000
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.001
+	}
+	if o.Iters <= 0 {
+		o.Iters = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.CollectiveDim <= 0 {
+		o.CollectiveDim = 65536
+	}
+	if o.CollectiveDelta <= 0 {
+		o.CollectiveDelta = 0.01
+	}
+	if o.CollectiveIters <= 0 {
+		o.CollectiveIters = 3
+	}
+	return o
+}
+
+// benchCollectives is the fixed matrix of collective cases recorded in
+// the baseline: each ring collective once, plus the chunked pipeline at
+// a chunk count where the overlap matters.
+var benchCollectives = []struct {
+	collective netsim.Collective
+	chunks     int
+}{
+	{netsim.CollectiveRing, 1},
+	{netsim.CollectiveAllGather, 1},
+	{netsim.CollectiveAllGather, 8},
+	{netsim.CollectivePS, 1},
+}
+
+// BenchRecord measures the current build and returns the report.
+func BenchRecord(opt BenchOptions) (*BenchReport, error) {
+	opt = opt.withDefaults()
+	rep := &BenchReport{
+		Schema:    BenchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	names := []string{"topk", "dgc", "redsync", "gaussiank", "sidco-e", "sidco-gp", "sidco-p"}
+	for _, name := range names {
+		cb, err := compressorBench(name, opt)
+		if err != nil {
+			return nil, err
+		}
+		rep.Compressors = append(rep.Compressors, cb)
+	}
+	for _, c := range benchCollectives {
+		cb, err := collectiveBench(c.collective, c.chunks, opt)
+		if err != nil {
+			return nil, err
+		}
+		rep.Collectives = append(rep.Collectives, cb)
+	}
+	return rep, nil
+}
+
+func compressorBench(name string, opt BenchOptions) (CompressorBench, error) {
+	comp, err := NewCompressor(name, opt.Seed)
+	if err != nil {
+		return CompressorBench{}, err
+	}
+	gen := simgrad.New(simgrad.Config{
+		Dim: opt.Dim, Family: simgrad.FamilyDoubleGamma, Shape: 0.6, Scale: 0.01, Seed: opt.Seed,
+	})
+	g := gen.Next()
+	k := compress.TargetK(opt.Dim, opt.Delta)
+	var nnz int
+	var benchErr error
+	mean := timeIt(opt.Iters, func() {
+		s, err := comp.Compress(g, opt.Delta)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		nnz = s.NNZ()
+	})
+	if benchErr != nil {
+		return CompressorBench{}, fmt.Errorf("harness: bench %s: %w", name, benchErr)
+	}
+	mbps := 0.0
+	if mean > 0 {
+		mbps = float64(opt.Dim) * 8 / mean / 1e6
+	}
+	return CompressorBench{
+		Name: name, Dim: opt.Dim, Delta: opt.Delta, Iters: opt.Iters,
+		MeanSec: mean, MBPerSec: mbps, KHatOverK: float64(nnz) / float64(k),
+	}, nil
+}
+
+// predictedMessages returns the netsim closed-form message count of one
+// exchange: the rings put n sending nodes on the wire, the parameter
+// server's formula already counts both sides.
+func predictedMessages(c netsim.Collective, workers, chunks int) int {
+	switch c {
+	case netsim.CollectiveRing:
+		return workers * netsim.RingMessages(workers)
+	case netsim.CollectiveAllGather:
+		return workers * netsim.ChunkedAllGatherMessages(workers, chunks)
+	case netsim.CollectivePS:
+		return netsim.PSMessages(workers)
+	default:
+		return 0
+	}
+}
+
+func collectiveBench(c netsim.Collective, chunks int, opt BenchOptions) (CollectiveBench, error) {
+	e, err := cluster.New(cluster.Config{
+		Workers:    opt.Workers,
+		Collective: c,
+		Chunks:     chunks,
+	})
+	if err != nil {
+		return CollectiveBench{}, err
+	}
+	defer e.Close()
+
+	gen := simgrad.New(simgrad.Config{
+		Dim: opt.CollectiveDim, Family: simgrad.FamilyDoubleGamma, Shape: 0.6, Scale: 0.01, Seed: opt.Seed,
+	})
+	comp, err := NewCompressor("topk", opt.Seed)
+	if err != nil {
+		return CollectiveBench{}, err
+	}
+	ins := make([]dist.ExchangeInput, opt.Workers)
+	for w := range ins {
+		dense := make([]float64, opt.CollectiveDim)
+		gen.Fill(dense)
+		sp, err := comp.Compress(dense, opt.CollectiveDelta)
+		if err != nil {
+			return CollectiveBench{}, err
+		}
+		ins[w] = dist.ExchangeInput{Worker: w, Dense: dense, Sparse: sp}
+	}
+	agg := make([]float64, opt.CollectiveDim)
+
+	// One untimed, uncounted warm-up exchange fills per-node scratch so
+	// the timed loop measures steady state.
+	if err := e.Exchange(0, ins, agg); err != nil {
+		return CollectiveBench{}, err
+	}
+	e.Transport().Reset()
+
+	step := 1
+	var benchErr error
+	mean := timeIt(opt.CollectiveIters, func() {
+		if err := e.Exchange(step, ins, agg); err != nil {
+			benchErr = err
+		}
+		step++
+	})
+	if benchErr != nil {
+		return CollectiveBench{}, fmt.Errorf("harness: bench %s: %w", c, benchErr)
+	}
+	msgs, bytes := e.Transport().Totals()
+	return CollectiveBench{
+		Collective: c.String(), Workers: opt.Workers, Chunks: chunks,
+		Dim: opt.CollectiveDim, Delta: opt.CollectiveDelta, Iters: opt.CollectiveIters,
+		StepWallSec: mean, Messages: msgs, Bytes: bytes,
+		PredictedMessages: opt.CollectiveIters * predictedMessages(c, opt.Workers, chunks),
+	}, nil
+}
+
+// WriteBenchJSON runs BenchRecord and writes the indented JSON report,
+// trailing newline included — the exact bytes committed as
+// BENCH_pipeline.json.
+func WriteBenchJSON(w io.Writer, opt BenchOptions) error {
+	rep, err := BenchRecord(opt)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// small keeps the bench-record test fast: tiny tensors, two iterations.
+var small = BenchOptions{
+	Dim: 4096, Iters: 2,
+	CollectiveDim: 2048, CollectiveIters: 2,
+	Seed: 7,
+}
+
+// TestBenchRecordTrafficMatchesFormulas is the machine-independent core
+// of the bench record: the instrumented message counts of every
+// collective case must equal the netsim closed form exactly.
+func TestBenchRecordTrafficMatchesFormulas(t *testing.T) {
+	rep, err := BenchRecord(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, BenchSchema)
+	}
+	if len(rep.Collectives) != len(benchCollectives) {
+		t.Fatalf("got %d collective entries, want %d", len(rep.Collectives), len(benchCollectives))
+	}
+	for _, c := range rep.Collectives {
+		if c.Messages != c.PredictedMessages {
+			t.Errorf("%s chunks=%d: %d messages, formula predicts %d",
+				c.Collective, c.Chunks, c.Messages, c.PredictedMessages)
+		}
+		if c.Messages == 0 || c.Bytes == 0 {
+			t.Errorf("%s chunks=%d: empty traffic (%d msgs, %d bytes)",
+				c.Collective, c.Chunks, c.Messages, c.Bytes)
+		}
+		if c.StepWallSec <= 0 {
+			t.Errorf("%s chunks=%d: non-positive step time %g",
+				c.Collective, c.Chunks, c.StepWallSec)
+		}
+	}
+	for _, cb := range rep.Compressors {
+		if cb.MeanSec <= 0 || cb.MBPerSec <= 0 {
+			t.Errorf("%s: non-positive timing (%g s, %g MB/s)", cb.Name, cb.MeanSec, cb.MBPerSec)
+		}
+		if cb.KHatOverK <= 0 {
+			t.Errorf("%s: khat/k = %g, want > 0", cb.Name, cb.KHatOverK)
+		}
+	}
+}
+
+// TestWriteBenchJSONRoundTrips asserts the emitted bytes are a valid
+// JSON document that decodes back into the same schema — the contract
+// BENCH_pipeline.json consumers rely on.
+func TestWriteBenchJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, small); err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, BenchSchema)
+	}
+	if len(rep.Compressors) == 0 || len(rep.Collectives) == 0 {
+		t.Fatalf("empty report: %d compressors, %d collectives", len(rep.Compressors), len(rep.Collectives))
+	}
+	if buf.Bytes()[buf.Len()-1] != '\n' {
+		t.Error("report does not end in a newline")
+	}
+}

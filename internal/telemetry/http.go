@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves an Aggregator over HTTP — the live-metrics endpoint
+// cmd/sidco-node mounts per process:
+//
+//	/metrics      Prometheus plaintext exposition (WritePrometheus)
+//	/healthz      200 "ok" liveness probe
+//	/debug/pprof  the standard net/http/pprof profiles
+//
+// The aggregator is scraped live (its lock makes concurrent emits and
+// scrapes safe), so a dashboard can watch a run in flight.
+func Handler(agg *Aggregator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		agg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONL is the streaming Sink: one JSON object per event, one event
+// per line, in the order events arrive at this sink. The schema is
+// stable and documented in the README's Observability section:
+//
+//	{"ts":<unix-nanos>,"type":"span","span":"exchange","node":0,"peer":-1,"chunk":-1,"step":3,"dur_ns":152340}
+//	{"ts":<unix-nanos>,"type":"counter","counter":"sent_bytes","node":0,"peer":1,"value":8192}
+//
+// Span events carry chunk, step and dur_ns; counter events carry
+// value. node and peer are -1 when unattributed. Encoding is manual
+// (strconv appends into a reused buffer), so the steady-state emit
+// path allocates nothing; writes go through an internal bufio.Writer —
+// call Flush (or Close on the owner of the underlying writer) once the
+// tracer has quiesced.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf []byte
+	err error // sticky write failure
+}
+
+// NewJSONL builds a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w), buf: make([]byte, 0, 256)}
+}
+
+// Emit implements Sink. Write failures are sticky and reported by
+// Flush; telemetry must never fail the training run it observes.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b := j.buf[:0]
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendInt(b, e.WallNanos, 10)
+	if e.Type == EventSpan {
+		b = append(b, `,"type":"span","span":"`...)
+		b = append(b, e.Span.String()...)
+	} else {
+		b = append(b, `,"type":"counter","counter":"`...)
+		b = append(b, e.Counter.String()...)
+	}
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	b = append(b, `,"peer":`...)
+	b = strconv.AppendInt(b, int64(e.Peer), 10)
+	if e.Type == EventSpan {
+		b = append(b, `,"chunk":`...)
+		b = strconv.AppendInt(b, int64(e.Chunk), 10)
+		b = append(b, `,"step":`...)
+		b = strconv.AppendInt(b, e.Step, 10)
+		b = append(b, `,"dur_ns":`...)
+		b = strconv.AppendInt(b, e.DurNanos, 10)
+	} else {
+		b = append(b, `,"value":`...)
+		b = strconv.AppendInt(b, e.Value, 10)
+	}
+	b = append(b, '}', '\n')
+	j.buf = b
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains buffered lines to the underlying writer and returns the
+// first write error the sink encountered, if any.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}

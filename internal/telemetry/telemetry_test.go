@@ -1,0 +1,316 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsDisabledAndSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	s := tr.Begin(SpanStep, 0, -1, -1, 3)
+	s.End()
+	tr.Count(CounterSentBytes, 0, 1, 64)
+	if !New().Enabled() {
+		t.Error("sink-less tracer should still report enabled")
+	}
+}
+
+func TestAggregatorCounterTotalsAreExact(t *testing.T) {
+	agg := NewAggregator()
+	tr := New(agg)
+	for i := 0; i < 100; i++ {
+		tr.Count(CounterSentMessages, 0, 1, 1)
+		tr.Count(CounterSentBytes, 0, 1, int64(i))
+		tr.Count(CounterRecvMessages, 0, 1, 1)
+		tr.Count(CounterRecvBytes, 0, 1, int64(2*i))
+	}
+	tr.Count(CounterSentMessages, 1, 2, 5)
+	tr.Count(CounterSteps, 0, -1, 7)
+	tr.Count(CounterRecvWaitNanos, 2, 0, 1_500_000_000)
+	// A zero delta must be dropped, not recorded as a touched link.
+	tr.Count(CounterSentBytes, 8, 9, 0)
+
+	if got := agg.Total(CounterSentMessages); got != 105 {
+		t.Errorf("sent messages = %d, want 105", got)
+	}
+	if got := agg.Total(CounterSentBytes); got != 4950 {
+		t.Errorf("sent bytes = %d, want 4950", got)
+	}
+	if got := agg.Total(CounterRecvBytes); got != 9900 {
+		t.Errorf("recv bytes = %d, want 9900", got)
+	}
+	lc := agg.LinkTotals(0, 1)
+	if lc.SentMessages != 100 || lc.SentBytes != 4950 || lc.RecvMessages != 100 || lc.RecvBytes != 9900 {
+		t.Errorf("link 0->1 = %+v", lc)
+	}
+	if got := agg.LinkTotals(1, 2).SentMessages; got != 5 {
+		t.Errorf("link 1->2 sent messages = %d, want 5", got)
+	}
+	if nc := agg.NodeTotals(0); nc.Steps != 7 {
+		t.Errorf("node 0 steps = %d, want 7", nc.Steps)
+	}
+	if nc := agg.NodeTotals(2); nc.RecvWaitNanos != 1_500_000_000 {
+		t.Errorf("node 2 recv wait = %d", nc.RecvWaitNanos)
+	}
+	// RecvWaitNanos is node-attributed, so only the two traffic links
+	// exist, sorted by (from, to).
+	links := agg.LinksSeen()
+	if len(links) != 2 || links[0] != (Link{0, 1}) || links[1] != (Link{1, 2}) {
+		t.Errorf("LinksSeen = %v (want sorted 0->1, 1->2)", links)
+	}
+	agg.Reset()
+	if agg.Total(CounterSentMessages) != 0 || len(agg.LinksSeen()) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+// TestAggregatorSpanPercentiles feeds a known duration distribution and
+// pins the nearest-rank percentiles.
+func TestAggregatorSpanPercentiles(t *testing.T) {
+	agg := NewAggregator()
+	for i := int64(1); i <= 100; i++ {
+		agg.Emit(Event{Type: EventSpan, Span: SpanExchange, DurNanos: i})
+	}
+	spans := agg.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d span summaries, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Kind != SpanExchange || s.Count != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Sum != 5050*time.Nanosecond {
+		t.Errorf("sum = %v, want 5050ns", s.Sum)
+	}
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 || s.Max != 100 {
+		t.Errorf("p50/p90/p99/max = %v/%v/%v/%v, want 50/90/99/100 ns", s.P50, s.P90, s.P99, s.Max)
+	}
+}
+
+// TestAggregatorRingIsBounded overflows the sample ring: counts and sums
+// stay exact over every event while percentiles cover the newest window.
+func TestAggregatorRingIsBounded(t *testing.T) {
+	agg := NewAggregator()
+	n := int64(3 * ringCap)
+	var sum int64
+	for i := int64(1); i <= n; i++ {
+		agg.Emit(Event{Type: EventSpan, Span: SpanStep, DurNanos: i})
+		sum += i
+	}
+	s := agg.Spans()[0]
+	if s.Count != n || s.Sum != time.Duration(sum) || s.Max != time.Duration(n) {
+		t.Errorf("count/sum/max = %d/%v/%v, want exact over all %d events", s.Count, s.Sum, s.Max, n)
+	}
+	// The ring holds the last ringCap values: 2*ringCap+1 .. 3*ringCap.
+	if s.P50 < time.Duration(2*ringCap) {
+		t.Errorf("p50 = %v predates the retained window", s.P50)
+	}
+}
+
+func TestSpanEmitsDuration(t *testing.T) {
+	agg := NewAggregator()
+	tr := New(agg)
+	sp := tr.Begin(SpanCompress, 3, -1, 2, 9)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	s := agg.Spans()
+	if len(s) != 1 || s[0].Kind != SpanCompress || s[0].Count != 1 {
+		t.Fatalf("spans = %+v", s)
+	}
+	if s[0].Sum < time.Millisecond {
+		t.Errorf("duration %v did not cover the sleep", s[0].Sum)
+	}
+}
+
+// TestPrometheusRoundTrip renders an aggregate and parses it back:
+// integer counters must survive exactly, durations in seconds.
+func TestPrometheusRoundTrip(t *testing.T) {
+	agg := NewAggregator()
+	tr := New(agg)
+	tr.Count(CounterSentMessages, 0, 1, 3)
+	tr.Count(CounterSentBytes, 0, 1, 1<<40+7) // big enough to catch float rendering
+	tr.Count(CounterRecvMessages, 1, 0, 2)
+	tr.Count(CounterRecvBytes, 1, 0, 512)
+	tr.Count(CounterSteps, 0, -1, 4)
+	tr.Count(CounterRecvWaitNanos, 0, 1, 2_500_000_000)
+	tr.Count(CounterWireSentBytes, 0, 1, 99)
+	agg.Emit(Event{Type: EventSpan, Span: SpanStep, DurNanos: 1_000_000})
+
+	var buf bytes.Buffer
+	if err := agg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseProm(buf.String())
+	if err != nil {
+		t.Fatalf("rendered metrics do not parse: %v\n%s", err, buf.String())
+	}
+	want := map[string]float64{
+		"sidco_sent_messages_total":                       3,
+		"sidco_sent_bytes_total":                          1<<40 + 7,
+		"sidco_recv_messages_total":                       2,
+		"sidco_recv_bytes_total":                          512,
+		"sidco_steps_total":                               4,
+		"sidco_wire_sent_bytes_total":                     99,
+		"sidco_recv_wait_seconds_total":                   2.5,
+		`sidco_link_sent_messages_total{from="0",to="1"}`: 3,
+		`sidco_link_sent_bytes_total{from="0",to="1"}`:    1<<40 + 7,
+		`sidco_link_recv_bytes_total{from="1",to="0"}`:    512,
+		`sidco_node_steps_total{node="0"}`:                4,
+		`sidco_span_duration_seconds_count{span="step"}`:  1,
+		`sidco_span_duration_seconds_sum{span="step"}`:    0.001,
+	}
+	for k, v := range want {
+		if got, ok := m[k]; !ok || got != v {
+			t.Errorf("%s = %v (present %v), want %v", k, got, ok, v)
+		}
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	if _, err := ParseProm("metric_without_value"); err == nil {
+		t.Error("valueless line should error")
+	}
+	if _, err := ParseProm("metric not_a_number"); err == nil {
+		t.Error("non-numeric value should error")
+	}
+	m, err := ParseProm("# comment\n\nm 1\n")
+	if err != nil || m["m"] != 1 {
+		t.Errorf("m = %v, err %v", m, err)
+	}
+}
+
+// jsonlLine is the documented JSONL schema, decoded strictly.
+type jsonlLine struct {
+	TS      int64  `json:"ts"`
+	Type    string `json:"type"`
+	Span    string `json:"span"`
+	Counter string `json:"counter"`
+	Node    int    `json:"node"`
+	Peer    int    `json:"peer"`
+	Chunk   int    `json:"chunk"`
+	Step    int64  `json:"step"`
+	DurNS   int64  `json:"dur_ns"`
+	Value   int64  `json:"value"`
+}
+
+// TestJSONLSchema asserts every emitted line is valid JSON matching the
+// documented schema — parsed back with encoding/json, the consumer's
+// view.
+func TestJSONLSchema(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	tr := New(j)
+	sp := tr.Begin(SpanEncode, 2, -1, 5, 11)
+	sp.End()
+	tr.Count(CounterSentBytes, 0, 3, 4096)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var span, counter jsonlLine
+	dec := json.NewDecoder(strings.NewReader(lines[0]))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&span); err != nil {
+		t.Fatalf("span line %q: %v", lines[0], err)
+	}
+	dec = json.NewDecoder(strings.NewReader(lines[1]))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&counter); err != nil {
+		t.Fatalf("counter line %q: %v", lines[1], err)
+	}
+	if span.Type != "span" || span.Span != "encode" || span.Node != 2 || span.Peer != -1 ||
+		span.Chunk != 5 || span.Step != 11 || span.DurNS < 0 || span.TS == 0 {
+		t.Errorf("span line = %+v", span)
+	}
+	if counter.Type != "counter" || counter.Counter != "sent_bytes" || counter.Node != 0 ||
+		counter.Peer != 3 || counter.Value != 4096 {
+		t.Errorf("counter line = %+v", counter)
+	}
+}
+
+// errWriter fails after n writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	j := NewJSONL(&errWriter{n: 0})
+	tr := New(j)
+	for i := 0; i < 2000; i++ { // enough to overflow the bufio buffer
+		tr.Count(CounterSentBytes, 0, 1, 1)
+	}
+	if err := j.Flush(); err == nil {
+		t.Error("write failure should surface from Flush")
+	}
+}
+
+// TestConcurrentEmit hammers one tracer from many goroutines into both
+// built-in sinks; totals must come out exact. Run under -race in CI,
+// this is the concurrency contract's regression test.
+func TestConcurrentEmit(t *testing.T) {
+	agg := NewAggregator()
+	j := NewJSONL(io.Discard)
+	tr := New(agg, j)
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := tr.Begin(SpanCollective, g, -1, -1, int64(i))
+				tr.Count(CounterSentMessages, g, (g+1)%goroutines, 1)
+				tr.Count(CounterSentBytes, g, (g+1)%goroutines, 8)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Total(CounterSentMessages); got != goroutines*per {
+		t.Errorf("sent messages = %d, want %d", got, goroutines*per)
+	}
+	if got := agg.Total(CounterSentBytes); got != goroutines*per*8 {
+		t.Errorf("sent bytes = %d, want %d", got, goroutines*per*8)
+	}
+	spans := agg.Spans()
+	if len(spans) != 1 || spans[0].Count != goroutines*per {
+		t.Errorf("spans = %+v, want %d collective spans", spans, goroutines*per)
+	}
+	for g := 0; g < goroutines; g++ {
+		if lc := agg.LinkTotals(g, (g+1)%goroutines); lc.SentMessages != per {
+			t.Errorf("link %d->%d = %d messages, want %d", g, (g+1)%goroutines, lc.SentMessages, per)
+		}
+	}
+}
+
+func TestMonotonicNeverDecreases(t *testing.T) {
+	prev := Monotonic()
+	for i := 0; i < 1000; i++ {
+		now := Monotonic()
+		if now < prev {
+			t.Fatalf("monotonic clock went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}

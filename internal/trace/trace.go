@@ -6,16 +6,28 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/tensor"
 )
 
 // Recorder captures gradient snapshots at chosen iterations.
+//
+// Recorder is safe for concurrent use: Observe, Snapshot and Iterations
+// may be called from any goroutine. dist.Trainer happens to serialise
+// its OnGradient callback today (only worker 0 taps, between step
+// barriers), but the Recorder does not rely on that — a recorder shared
+// across trainers, or a future per-worker tap, stays race-free. Observe
+// copies the observed slice before storing it, so the caller may reuse
+// the buffer immediately; slices returned by Snapshot are owned by the
+// Recorder and must be treated as read-only.
 type Recorder struct {
 	// Normalize divides each snapshot by its l2 norm before storage
-	// (paper's convention).
+	// (paper's convention). Set it before the first Observe; it is read
+	// without the lock.
 	Normalize bool
 
+	mu   sync.Mutex
 	want map[int]struct{}
 	snap map[int][]float64
 }
@@ -32,6 +44,9 @@ func NewRecorder(normalize bool, iters ...int) *Recorder {
 // Observe is the dist.TrainerConfig.OnGradient callback.
 func (r *Recorder) Observe(iter int, flat []float64) {
 	if _, ok := r.want[iter]; !ok {
+		// want is written only by NewRecorder, so the miss path stays
+		// lock-free — the common case when sampling a few iterations out
+		// of a long run.
 		return
 	}
 	cp := tensor.Clone(flat)
@@ -40,12 +55,17 @@ func (r *Recorder) Observe(iter int, flat []float64) {
 			tensor.Scale(1/n, cp)
 		}
 	}
+	r.mu.Lock()
 	r.snap[iter] = cp
+	r.mu.Unlock()
 }
 
-// Snapshot returns the recorded gradient for an iteration.
+// Snapshot returns the recorded gradient for an iteration. The returned
+// slice is shared with the Recorder: callers must not modify it.
 func (r *Recorder) Snapshot(iter int) ([]float64, error) {
+	r.mu.Lock()
 	s, ok := r.snap[iter]
+	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("trace: no snapshot for iteration %d", iter)
 	}
@@ -55,6 +75,8 @@ func (r *Recorder) Snapshot(iter int) ([]float64, error) {
 // Iterations returns the recorded iteration numbers in no particular
 // order.
 func (r *Recorder) Iterations() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]int, 0, len(r.snap))
 	for i := range r.snap {
 		out = append(out, i)

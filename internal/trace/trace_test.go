@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -50,6 +51,39 @@ func TestRecorderNormalizes(t *testing.T) {
 	norm := math.Hypot(got[0], got[1])
 	if math.Abs(norm-1) > 1e-12 {
 		t.Errorf("normalized snapshot has norm %v", norm)
+	}
+}
+
+// TestRecorderConcurrentObserve hammers one Recorder from many
+// goroutines mixing Observe with the read methods — the documented
+// concurrency contract. Run under -race (CI does) this is the
+// regression test for the unlocked-map version of the Recorder.
+func TestRecorderConcurrentObserve(t *testing.T) {
+	const goroutines, iters = 8, 200
+	want := make([]int, iters)
+	for i := range want {
+		want[i] = i
+	}
+	r := NewRecorder(true, want...)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := []float64{3, 4}
+			for i := g; i < iters; i += goroutines {
+				r.Observe(i, buf)
+				if s, err := r.Snapshot(i); err != nil || len(s) != 2 {
+					t.Errorf("snapshot %d: %v (len %d)", i, err, len(s))
+					return
+				}
+				_ = r.Iterations()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Iterations()); got != iters {
+		t.Errorf("recorded %d iterations, want %d", got, iters)
 	}
 }
 
