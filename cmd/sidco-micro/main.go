@@ -11,6 +11,7 @@
 //	sidco-micro -fig wallclock    # real Go timings on this machine
 //	sidco-micro -fig all
 //	sidco-micro -json             # machine-readable bench record to stdout
+//	sidco-micro -json -compare BENCH_pipeline.json   # + regression gate
 //
 // -json emits a sidco-bench/v1 record (see internal/harness.BenchReport):
 // compressor wall-clock throughput plus measured collective step time and
@@ -19,6 +20,15 @@
 // repo root; regenerate it with
 //
 //	go run ./cmd/sidco-micro -json > BENCH_pipeline.json
+//
+// -compare FILE additionally diffs the fresh record against the
+// committed baseline and exits non-zero if any compressor's MB/s fell
+// more than -tolerance (default 0.30). Only throughput is gated —
+// collective step wall times are too noisy across machines; their
+// exact traffic counts are asserted by the test suite instead. After
+// an intentional perf change (or when moving the reference machine),
+// re-baseline by regenerating BENCH_pipeline.json as above and
+// committing it alongside the change that explains the shift.
 package main
 
 import (
@@ -36,6 +46,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	dim := flag.Int("dim", 2_000_000, "dimension for -fig wallclock")
 	jsonOut := flag.Bool("json", false, "emit a sidco-bench/v1 JSON bench record to stdout and exit")
+	compare := flag.String("compare", "", "with -json: baseline record to diff against; exit non-zero on throughput regression")
+	tolerance := flag.Float64("tolerance", 0.30, "with -compare: allowed fractional MB/s drop before failing")
 	flag.Parse()
 
 	opt := harness.Options{Iters: *iters, SimScale: *scale, Seed: *seed}
@@ -50,7 +62,28 @@ func main() {
 	if *jsonOut {
 		// Fixed default parameters (only the seed is taken from flags) so
 		// every emitted record is comparable with the committed baseline.
-		run("bench", func() error { return harness.WriteBenchJSON(w, harness.BenchOptions{Seed: *seed}) })
+		if *compare == "" {
+			run("bench", func() error { return harness.WriteBenchJSON(w, harness.BenchOptions{Seed: *seed}) })
+			return
+		}
+		baseline, err := harness.LoadBenchReport(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sidco-micro: %v\n", err)
+			os.Exit(1)
+		}
+		var current *harness.BenchReport
+		run("bench", func() error {
+			current, err = harness.BenchRecord(harness.BenchOptions{Seed: *seed})
+			return err
+		})
+		if regs := harness.CompareBenchReports(baseline, current, *tolerance); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "sidco-micro: regression: %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "bench compare: %d compressors within %.0f%% of %s\n",
+			len(current.Compressors), *tolerance*100, *compare)
 		return
 	}
 	switch *fig {

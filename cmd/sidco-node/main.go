@@ -58,6 +58,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nn"
 	"repro/internal/telemetry"
+	"repro/internal/traceview"
 )
 
 type options struct {
@@ -179,7 +180,10 @@ func setupTelemetry(opt options) (*nodeTelemetry, error) {
 			return nil, fmt.Errorf("-telemetry: %w", err)
 		}
 		nt.file = f
-		nt.jsonl = telemetry.NewJSONL(f)
+		// The per-rank node id in the stream's meta record is what lets
+		// sidco-trace match message sides to streams when it aligns the
+		// ranks' clocks.
+		nt.jsonl = telemetry.NewJSONLForNode(f, opt.node)
 		sinks = append(sinks, nt.jsonl)
 	}
 	nt.tracer = telemetry.New(sinks...)
@@ -337,6 +341,18 @@ func runNode(opt options) error {
 	return nil
 }
 
+// resolveCollective maps CollectiveAuto to the schedule the run will
+// actually execute: all-gather for compressed training, ring otherwise.
+func resolveCollective(opt options, coll netsim.Collective) netsim.Collective {
+	if coll != netsim.CollectiveAuto {
+		return coll
+	}
+	if opt.compressor != "" && opt.compressor != "none" {
+		return netsim.CollectiveAllGather
+	}
+	return netsim.CollectiveRing
+}
+
 // printLosses renders rank 0's view of the run.
 func printLosses(opt options, coll netsim.Collective, losses []float64) {
 	tbl := harness.NewTable(
@@ -364,14 +380,7 @@ func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.
 	if err != nil {
 		return err
 	}
-	resolved := coll
-	if resolved == netsim.CollectiveAuto {
-		if opt.compressor != "" && opt.compressor != "none" {
-			resolved = netsim.CollectiveAllGather
-		} else {
-			resolved = netsim.CollectiveRing
-		}
-	}
+	resolved := resolveCollective(opt, coll)
 	bitwise := resolved == netsim.CollectiveAllGather || resolved == netsim.CollectivePS
 	for i := range want {
 		if bitwise && losses[i] != want[i] {
@@ -597,5 +606,44 @@ func runLaunch(opt options) error {
 		return fmt.Errorf("%d of %d processes failed", failed, nodes)
 	}
 	fmt.Printf("launch: all %d processes finished cleanly\n", nodes)
+	if opt.telemetryPath != "" && opt.check {
+		if err := checkLaunchTraces(opt, coll, nodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkLaunchTraces assembles the children's per-rank telemetry streams
+// into one global timeline and gates the deployment on it: every
+// gradient message and every TCP frame the ranks sent must pair with
+// exactly one receive on the peer's stream, and the paired gradient
+// total must equal iters exchanges of the collective's closed-form
+// message count — the cross-process half of the traffic accounting each
+// child already verified locally.
+func checkLaunchTraces(opt options, coll netsim.Collective, nodes int) error {
+	streams := make([]*traceview.Stream, 0, nodes)
+	for rank := 0; rank < nodes; rank++ {
+		s, err := traceview.ReadFile(fmt.Sprintf("%s.rank%d", opt.telemetryPath, rank))
+		if err != nil {
+			return fmt.Errorf("launch trace check: %w", err)
+		}
+		streams = append(streams, s)
+	}
+	tl, err := traceview.Assemble(streams)
+	if err != nil {
+		return fmt.Errorf("launch trace check: %w", err)
+	}
+	if err := traceview.CheckComplete(tl); err != nil {
+		return fmt.Errorf("launch trace check: %w", err)
+	}
+	resolved := resolveCollective(opt, coll)
+	if err := traceview.CheckMessageCount(tl, resolved, opt.launch, opt.chunks, opt.iters); err != nil {
+		return fmt.Errorf("launch trace check: %w", err)
+	}
+	paired, _, _ := tl.PairStats(false)
+	wirePaired, _, _ := tl.PairStats(true)
+	fmt.Printf("launch trace check: %d gradient + %d wire messages assembled across %d ranks, all paired, counts match the %s formula\n",
+		paired, wirePaired, nodes, resolved)
 	return nil
 }

@@ -304,6 +304,10 @@ func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) err
 			}
 		}
 	}
+	// Tag the round's telemetry message events with the step before any
+	// node goroutine can send: Exchange is a synchronous barrier, so no
+	// message from another step can be in flight here.
+	e.sched.tp.SetStep(int64(step))
 	for w, in := range ins {
 		e.jobs[w] <- job{step: step, sparse: in.Sparse, dense: in.Dense, dim: len(agg), coll: coll}
 	}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
@@ -82,6 +83,7 @@ type Instrumented struct {
 	inner Transport
 	scen  *Scenario
 	tel   *telemetry.Tracer
+	step  atomic.Int64 // current training step for emitted message events, -1 outside steps
 
 	mu         sync.Mutex
 	stats      map[Link]*LinkStats
@@ -95,13 +97,15 @@ type Instrumented struct {
 	rxBusy     []float64 // per-node receive-NIC busy-until
 	pipeBusy   []float64 // per-node compressor-lane busy-until
 	stamps     map[Link][]float64
+	sendSeq    map[Link]int64 // next send sequence per directed link
+	recvSeq    map[Link]int64 // next recv sequence per directed link
 }
 
 // NewInstrumented wraps inner. scen may be nil to count traffic without
 // modelling time.
 func NewInstrumented(inner Transport, scen *Scenario) *Instrumented {
 	n := inner.Nodes()
-	return &Instrumented{
+	t := &Instrumented{
 		inner:    inner,
 		scen:     scen,
 		stats:    make(map[Link]*LinkStats),
@@ -111,8 +115,19 @@ func NewInstrumented(inner Transport, scen *Scenario) *Instrumented {
 		rxBusy:   make([]float64, n),
 		pipeBusy: make([]float64, n),
 		stamps:   make(map[Link][]float64),
+		sendSeq:  make(map[Link]int64),
+		recvSeq:  make(map[Link]int64),
 	}
+	t.step.Store(-1)
+	return t
 }
+
+// SetStep tags subsequently emitted telemetry message events with the
+// given training step, so trace assembly can slice a stream per step.
+// The schedules are synchronous — every in-flight message belongs to
+// exactly one exchange — so a single transport-wide tag is race-free
+// when set before the exchange fans out. Pass -1 to clear.
+func (t *Instrumented) SetStep(step int64) { t.step.Store(step) }
 
 // WithTelemetry attaches a tracer and returns the receiver: every Send
 // emits sent-message/byte counter events and every Recv emits
@@ -143,6 +158,10 @@ func (t *Instrumented) Send(from, to int, payload []byte) error {
 	st.Bytes += len(payload)
 	t.totalMsgs++
 	t.totalBytes += len(payload)
+	seq := t.sendSeq[l]
+	t.sendSeq[l] = seq + 1
+	var vStart, vEnd float64
+	hasVirtual := false
 	if t.scen != nil && from >= 0 && from < len(t.clock) {
 		start := t.txBusy[from]
 		if t.clock[from] > start {
@@ -150,10 +169,16 @@ func (t *Instrumented) Send(from, to int, payload []byte) error {
 		}
 		t.txBusy[from] = start + t.scen.LatencySec + t.scen.transfer(from, to, len(payload))
 		t.stamps[l] = append(t.stamps[l], start)
+		vStart, vEnd, hasVirtual = start, t.txBusy[from], true
 	}
 	t.mu.Unlock()
-	t.tel.Count(telemetry.CounterSentMessages, from, to, 1)
-	t.tel.Count(telemetry.CounterSentBytes, from, to, int64(len(payload)))
+	step := t.step.Load()
+	t.tel.CountSeq(telemetry.CounterSentMessages, from, to, 1, seq, step)
+	t.tel.CountSeq(telemetry.CounterSentBytes, from, to, int64(len(payload)), seq, step)
+	if hasVirtual {
+		t.tel.Virtual(telemetry.SpanSend, from, to, -1, step, seq, int64(len(payload)),
+			vStart*1e9, vEnd*1e9)
+	}
 	return t.inner.Send(from, to, payload)
 }
 
@@ -168,11 +193,6 @@ func (t *Instrumented) Recv(to, from int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if t.tel.Enabled() {
-		t.tel.Count(telemetry.CounterRecvWaitNanos, to, from, telemetry.Monotonic()-t0)
-		t.tel.Count(telemetry.CounterRecvMessages, from, to, 1)
-		t.tel.Count(telemetry.CounterRecvBytes, from, to, int64(len(payload)))
-	}
 	t.mu.Lock()
 	l := Link{from, to}
 	rst := t.rstats[l]
@@ -184,6 +204,10 @@ func (t *Instrumented) Recv(to, from int) ([]byte, error) {
 	rst.Bytes += len(payload)
 	t.recvMsgs++
 	t.recvBytes += len(payload)
+	seq := t.recvSeq[l]
+	t.recvSeq[l] = seq + 1
+	var vStart, vEnd float64
+	hasVirtual := false
 	if t.scen != nil {
 		if q := t.stamps[l]; len(q) > 0 && to >= 0 && to < len(t.clock) {
 			start := q[0]
@@ -195,9 +219,20 @@ func (t *Instrumented) Recv(to, from int) ([]byte, error) {
 			if t.rxBusy[to] > t.clock[to] {
 				t.clock[to] = t.rxBusy[to]
 			}
+			vStart, vEnd, hasVirtual = start, t.rxBusy[to], true
 		}
 	}
 	t.mu.Unlock()
+	if t.tel.Enabled() {
+		step := t.step.Load()
+		t.tel.CountSeq(telemetry.CounterRecvWaitNanos, to, from, telemetry.Monotonic()-t0, seq, step)
+		t.tel.CountSeq(telemetry.CounterRecvMessages, from, to, 1, seq, step)
+		t.tel.CountSeq(telemetry.CounterRecvBytes, from, to, int64(len(payload)), seq, step)
+		if hasVirtual {
+			t.tel.Virtual(telemetry.SpanRecv, to, from, -1, step, seq, int64(len(payload)),
+				vStart*1e9, vEnd*1e9)
+		}
+	}
 	return payload, nil
 }
 
@@ -212,8 +247,12 @@ func (t *Instrumented) Compute(node int, seconds float64) {
 		return
 	}
 	t.mu.Lock()
-	t.clock[node] += seconds * t.straggler(node)
+	start := t.clock[node]
+	t.clock[node] = start + seconds*t.straggler(node)
+	end := t.clock[node]
 	t.mu.Unlock()
+	t.tel.Virtual(telemetry.SpanCompute, node, -1, -1, t.step.Load(), -1, 0,
+		start*1e9, end*1e9)
 }
 
 // straggler returns the node's compute slowdown factor. Callers hold mu
@@ -238,7 +277,6 @@ func (t *Instrumented) ComputeOverlap(node int, seconds float64) float64 {
 		return 0
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	start := t.pipeBusy[node]
 	if t.clock[node] > start {
 		// The lane cannot start before the node has produced the work's
@@ -246,7 +284,11 @@ func (t *Instrumented) ComputeOverlap(node int, seconds float64) float64 {
 		start = t.clock[node]
 	}
 	t.pipeBusy[node] = start + seconds*t.straggler(node)
-	return t.pipeBusy[node]
+	end := t.pipeBusy[node]
+	t.mu.Unlock()
+	t.tel.Virtual(telemetry.SpanCompress, node, -1, -1, t.step.Load(), -1, 0,
+		start*1e9, end*1e9)
+	return end
 }
 
 // WaitFor stalls a node's clock until the given virtual time, typically
@@ -336,4 +378,6 @@ func (t *Instrumented) Reset() {
 		t.clock[i], t.txBusy[i], t.rxBusy[i], t.pipeBusy[i] = 0, 0, 0, 0
 	}
 	t.stamps = make(map[Link][]float64)
+	t.sendSeq = make(map[Link]int64)
+	t.recvSeq = make(map[Link]int64)
 }

@@ -452,6 +452,7 @@ func (n *Node) Exchange(step int, ins []dist.ExchangeInput, agg []float64) error
 		return err
 	}
 	jb := job{step: step, sparse: ins[0].Sparse, dense: ins[0].Dense, dim: len(agg), coll: coll}
+	n.sched.tp.SetStep(int64(step))
 	if err := n.sched.runWorker(n.cfg.Rank, jb, &n.sc, agg); err != nil {
 		// Fail-stop, like Engine: a broken round leaves stray messages on
 		// the links, so this node cannot safely run another schedule.
@@ -509,6 +510,7 @@ func (n *Node) Serve(rounds int) error {
 	}
 	var srv psServer
 	for served := 0; rounds <= 0 || served < rounds; served++ {
+		n.sched.tp.SetStep(int64(served))
 		span := n.sched.tel.Begin(telemetry.SpanCollective, n.cfg.Rank, -1, -1, int64(served))
 		err := srv.round(n.sched.tp, n.sched.server, n.cfg.Workers, n.sched.format)
 		span.End()

@@ -86,6 +86,7 @@ type TCPTransport struct {
 type tcpSendLink struct {
 	mu   sync.Mutex
 	conn net.Conn
+	seq  int64 // next wire sequence number; the handshake took 0
 	err  error // sticky dial failure
 }
 
@@ -214,6 +215,7 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 			return err
 		}
 		sl.conn = conn
+		sl.seq = 1 // the handshake carried wire sequence 0
 	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -223,7 +225,9 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 	if _, err := sl.conn.Write(payload); err != nil {
 		return t.sendErr(from, to, err)
 	}
-	t.tel.Count(telemetry.CounterWireSentBytes, from, to, int64(4+len(payload)))
+	seq := sl.seq
+	sl.seq++
+	t.tel.CountSeq(telemetry.CounterWireSentBytes, from, to, int64(4+len(payload)), seq, -1)
 	return nil
 }
 
@@ -277,7 +281,9 @@ func (t *TCPTransport) dial(from, to int) (net.Conn, error) {
 				conn.Close()
 				return nil, fmt.Errorf("cluster: dial %d->%d: %w", from, to, ErrClosed)
 			}
-			t.tel.Count(telemetry.CounterWireSentBytes, from, to, int64(len(hs)))
+			// The handshake is wire sequence 0 on its directed link: the
+			// first paired event trace assembly aligns process clocks with.
+			t.tel.CountSeq(telemetry.CounterWireSentBytes, from, to, int64(len(hs)), 0, -1)
 			span.End() // only successful establishments are recorded
 			return conn, nil
 		}
@@ -385,7 +391,11 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 		conn.Close()
 		return
 	}
-	t.tel.Count(telemetry.CounterWireRecvBytes, from, to, int64(len(hs)))
+	// Wire sequence numbers mirror the sender's exactly: TCP's byte
+	// stream delivers the handshake (0) and every frame (1, 2, ...) in
+	// write order, and this goroutine is the link's only reader.
+	t.tel.CountSeq(telemetry.CounterWireRecvBytes, from, to, int64(len(hs)), 0, -1)
+	wireSeq := int64(1)
 	ch := t.inbox[Link{from, to}]
 	fail := func() {
 		conn.Close()
@@ -413,7 +423,8 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 			fail()
 			return
 		}
-		t.tel.Count(telemetry.CounterWireRecvBytes, from, to, int64(4+size))
+		t.tel.CountSeq(telemetry.CounterWireRecvBytes, from, to, int64(4+size), wireSeq, -1)
+		wireSeq++
 		select {
 		case ch <- payload:
 		case <-t.done:

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadBenchReport reads a committed sidco-bench JSON record (the
+// BENCH_pipeline.json baseline) and rejects schema mismatches up front
+// so a compare never silently diffs incompatible field meanings.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: load baseline: %w", err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("harness: load baseline %s: %w", path, err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("harness: baseline %s has schema %q, this build speaks %q — regenerate the baseline",
+			path, rep.Schema, BenchSchema)
+	}
+	return &rep, nil
+}
+
+// CompareBenchReports checks the current record against a baseline and
+// returns one line per regression. Only compressor throughput is
+// gated: a compressor present in both records whose MBPerSec fell more
+// than tolerance (a fraction; 0.30 = 30% slower) is a regression.
+// Collective step timings are too machine-noise-dominated for a hard
+// gate and are reported informationally by the caller instead; exact
+// traffic counts are already asserted by tests. Compressors that are
+// new in the current record pass (no baseline to regress against), and
+// compressors missing from the current record fail — a silently dropped
+// bench would otherwise hide a deleted code path.
+func CompareBenchReports(baseline, current *BenchReport, tolerance float64) []string {
+	var regressions []string
+	cur := make(map[string]CompressorBench, len(current.Compressors))
+	for _, cb := range current.Compressors {
+		cur[cb.Name] = cb
+	}
+	for _, base := range baseline.Compressors {
+		now, ok := cur[base.Name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("compressor %s: in baseline but missing from current run", base.Name))
+			continue
+		}
+		if base.MBPerSec <= 0 {
+			continue // degenerate baseline entry; nothing to gate against
+		}
+		floor := base.MBPerSec * (1 - tolerance)
+		if now.MBPerSec < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("compressor %s: %.1f MB/s vs baseline %.1f MB/s (-%.0f%%, tolerance %.0f%%)",
+					base.Name, now.MBPerSec, base.MBPerSec,
+					100*(1-now.MBPerSec/base.MBPerSec), 100*tolerance))
+		}
+	}
+	return regressions
+}

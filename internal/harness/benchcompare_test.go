@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchFixture(names []string, mbps []float64) *BenchReport {
+	rep := &BenchReport{Schema: BenchSchema}
+	for i, n := range names {
+		rep.Compressors = append(rep.Compressors, CompressorBench{Name: n, MBPerSec: mbps[i]})
+	}
+	return rep
+}
+
+func TestCompareBenchReports(t *testing.T) {
+	base := benchFixture([]string{"topk", "dgc", "sidco-e"}, []float64{100, 200, 300})
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cur := benchFixture([]string{"topk", "dgc", "sidco-e"}, []float64{71, 400, 300})
+		if regs := CompareBenchReports(base, cur, 0.30); len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+	t.Run("regression beyond tolerance fails", func(t *testing.T) {
+		cur := benchFixture([]string{"topk", "dgc", "sidco-e"}, []float64{69, 200, 300})
+		regs := CompareBenchReports(base, cur, 0.30)
+		if len(regs) != 1 || !strings.Contains(regs[0], "topk") {
+			t.Fatalf("want one topk regression, got %v", regs)
+		}
+	})
+	t.Run("missing compressor fails", func(t *testing.T) {
+		cur := benchFixture([]string{"topk", "dgc"}, []float64{100, 200})
+		regs := CompareBenchReports(base, cur, 0.30)
+		if len(regs) != 1 || !strings.Contains(regs[0], "sidco-e") {
+			t.Fatalf("want one missing-compressor failure, got %v", regs)
+		}
+	})
+	t.Run("new compressor passes", func(t *testing.T) {
+		cur := benchFixture([]string{"topk", "dgc", "sidco-e", "brandnew"}, []float64{100, 200, 300, 1})
+		if regs := CompareBenchReports(base, cur, 0.30); len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+	t.Run("zero-throughput baseline entry is skipped", func(t *testing.T) {
+		b := benchFixture([]string{"topk"}, []float64{0})
+		cur := benchFixture([]string{"topk"}, []float64{0})
+		if regs := CompareBenchReports(b, cur, 0.30); len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+}
+
+func TestLoadBenchReportRejectsSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"schema":"`+BenchSchema+`","compressors":[{"name":"topk","mb_per_s":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadBenchReport(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Compressors) != 1 || rep.Compressors[0].MBPerSec != 5 {
+		t.Fatalf("loaded report mangled: %+v", rep)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"sidco-bench/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchReport(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema-mismatch error, got %v", err)
+	}
+	if _, err := LoadBenchReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestLoadCommittedBaseline(t *testing.T) {
+	// The committed baseline must stay loadable by the current build, or
+	// the CI compare gate dies on its first step.
+	rep, err := LoadBenchReport("../../BENCH_pipeline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Compressors) == 0 {
+		t.Fatal("committed baseline has no compressor entries")
+	}
+}

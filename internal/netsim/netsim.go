@@ -34,6 +34,21 @@ func NVLinkNode(workers int) Network {
 	return Network{Workers: workers, BandwidthBps: 200e9, LatencySec: 5e-6}
 }
 
+// DyadicLab returns a test fabric whose alpha-beta arithmetic is exact
+// in float64: bandwidth 2^27 bits/s and latency 2^-20 s, both powers of
+// two, so a transfer of b bytes costs b*2^-24 seconds — a dyadic
+// rational for any integer payload size. Every closed form in this
+// package is then a finite sum/product of dyadic rationals well inside
+// float64's 53-bit mantissa, and cluster.Instrumented's incremental
+// accumulation of the same quantities lands on bit-identical values.
+// That is the fabric the trace-assembly cross-checks run on: assembled
+// critical paths must equal these formulas exactly, not approximately.
+// (~128 Mbps with ~1 microsecond latency — a plausible slow fabric, but
+// chosen for representability, not realism.)
+func DyadicLab(workers int) Network {
+	return Network{Workers: workers, BandwidthBps: 1 << 27, LatencySec: 1.0 / (1 << 20)}
+}
+
 func (n Network) validate() error {
 	if n.Workers < 1 {
 		return fmt.Errorf("netsim: %d workers", n.Workers)

@@ -20,12 +20,13 @@ const ringCap = 4096
 
 // spanStats accumulates one span kind.
 type spanStats struct {
-	count int64
-	sum   int64 // nanoseconds
-	max   int64
-	ring  []int64 // most recent ringCap durations
-	pos   int
-	full  bool
+	count   int64
+	sum     int64 // nanoseconds
+	max     int64
+	dropped int64   // samples overwritten in the ring (outside the percentile window)
+	ring    []int64 // most recent ringCap durations
+	pos     int
+	full    bool
 }
 
 func (s *spanStats) add(durNS int64) {
@@ -42,6 +43,7 @@ func (s *spanStats) add(durNS int64) {
 		return
 	}
 	s.full = true
+	s.dropped++
 	s.ring[s.pos] = durNS
 	s.pos++
 	if s.pos == ringCap {
@@ -70,15 +72,19 @@ type NodeCounters struct {
 }
 
 // SpanSummary is one span kind's aggregate, with percentiles over the
-// retained sample ring.
+// retained sample ring. Dropped counts the samples the bounded ring has
+// overwritten: when it is non-zero the percentiles describe a recent
+// window, not the whole run (Count, Sum and Max always cover
+// everything).
 type SpanSummary struct {
-	Kind  SpanKind
-	Count int64
-	Sum   time.Duration
-	P50   time.Duration
-	P90   time.Duration
-	P99   time.Duration
-	Max   time.Duration
+	Kind    SpanKind
+	Count   int64
+	Dropped int64
+	Sum     time.Duration
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+	Max     time.Duration
 }
 
 // Aggregator is the in-memory Sink: exact counter totals (per kind,
@@ -109,6 +115,12 @@ func (a *Aggregator) Emit(e Event) {
 		if e.Span < numSpanKinds {
 			a.spans[e.Span].add(e.DurNanos)
 		}
+		return
+	}
+	if e.Type != EventCounter {
+		// EventVirtual (and any future shape) carries no wall-clock
+		// aggregate: virtual windows belong to trace assembly, not to
+		// the live metrics surface.
 		return
 	}
 	if e.Counter >= numCounterKinds {
@@ -233,13 +245,14 @@ func (a *Aggregator) Spans() []SpanSummary {
 		scratch = append(scratch[:0], st.ring...)
 		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
 		out = append(out, SpanSummary{
-			Kind:  k,
-			Count: st.count,
-			Sum:   time.Duration(st.sum),
-			P50:   time.Duration(quantile(scratch, 0.50)),
-			P90:   time.Duration(quantile(scratch, 0.90)),
-			P99:   time.Duration(quantile(scratch, 0.99)),
-			Max:   time.Duration(st.max),
+			Kind:    k,
+			Count:   st.count,
+			Dropped: st.dropped,
+			Sum:     time.Duration(st.sum),
+			P50:     time.Duration(quantile(scratch, 0.50)),
+			P90:     time.Duration(quantile(scratch, 0.90)),
+			P99:     time.Duration(quantile(scratch, 0.99)),
+			Max:     time.Duration(st.max),
 		})
 	}
 	return out
@@ -322,6 +335,14 @@ func (a *Aggregator) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, "sidco_span_duration_seconds_sum{span=%q} %s\n", k.String(), seconds(st.sum))
 		fmt.Fprintf(bw, "sidco_span_duration_seconds_count{span=%q} %d\n", k.String(), st.count)
+	}
+	fmt.Fprintf(bw, "# HELP sidco_span_samples_dropped_total Span duration samples overwritten in the bounded percentile ring; non-zero means the quantiles above cover a recent window, not the whole run.\n")
+	fmt.Fprintf(bw, "# TYPE sidco_span_samples_dropped_total counter\n")
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		if spans[k].count == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "sidco_span_samples_dropped_total{span=%q} %d\n", k.String(), spans[k].dropped)
 	}
 
 	writeTotal := func(name, help string, v int64) {

@@ -15,6 +15,8 @@ func TestDisabledTracerZeroAllocs(t *testing.T) {
 		sp := tr.Begin(SpanStep, 0, -1, -1, 7)
 		tr.Count(CounterSentMessages, 0, 1, 1)
 		tr.Count(CounterSentBytes, 0, 1, 4096)
+		tr.CountSeq(CounterRecvMessages, 0, 1, 1, 3, 7)
+		tr.Virtual(SpanSend, 0, 1, -1, 7, 3, 4096, 976.5625, 1953.125)
 		inner := tr.Begin(SpanExchange, 0, 1, 2, 7)
 		inner.End()
 		sp.End()
@@ -36,6 +38,8 @@ func TestEnabledTracerSteadyStateZeroAllocs(t *testing.T) {
 		sp := tr.Begin(SpanStep, 0, -1, -1, 7)
 		tr.Count(CounterSentMessages, 0, 1, 1)
 		tr.Count(CounterSentBytes, 0, 1, 4096)
+		tr.CountSeq(CounterRecvMessages, 0, 1, 1, 3, 7)
+		tr.Virtual(SpanSend, 0, 1, -1, 7, 3, 4096, 976.5625, 1953.125)
 		inner := tr.Begin(SpanExchange, 0, 1, 2, 7)
 		inner.End()
 		sp.End()

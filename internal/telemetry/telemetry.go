@@ -53,6 +53,12 @@ const (
 	// SpanDial is a TCP link's connection establishment, retries
 	// included.
 	SpanDial
+	// SpanSend is one message's occupancy of the sender's NIC on the
+	// Instrumented virtual clock (EventVirtual only).
+	SpanSend
+	// SpanRecv is one message's occupancy of the receiver's NIC on the
+	// Instrumented virtual clock (EventVirtual only).
+	SpanRecv
 
 	numSpanKinds
 )
@@ -77,6 +83,10 @@ func (k SpanKind) String() string {
 		return "collective"
 	case SpanDial:
 		return "dial"
+	case SpanSend:
+		return "send"
+	case SpanRecv:
+		return "recv"
 	default:
 		return "unknown"
 	}
@@ -145,7 +155,7 @@ func (k CounterKind) String() string {
 	}
 }
 
-// EventType discriminates the two event shapes.
+// EventType discriminates the event shapes.
 type EventType uint8
 
 const (
@@ -153,6 +163,14 @@ const (
 	EventSpan EventType = iota
 	// EventCounter is a counter delta.
 	EventCounter
+	// EventVirtual is a completed window on cluster.Instrumented's
+	// virtual alpha-beta clock: a send or receive occupying a NIC, a
+	// compute or compress charge. Virtual times are float64 nanoseconds
+	// since the virtual origin (exact dyadic arithmetic survives the
+	// round-trip), carried in VStartNanos/VEndNanos; WallNanos still
+	// records when the event was emitted. Trace assembly (traceview)
+	// consumes these; the Aggregator ignores them.
+	EventVirtual
 )
 
 // Event is one telemetry record. It is a plain value — sinks receive it
@@ -178,8 +196,24 @@ type Event struct {
 	Step int64
 	// DurNanos is an EventSpan's monotonic duration.
 	DurNanos int64
-	// Value is an EventCounter's delta.
+	// Value is an EventCounter's delta, or an EventVirtual message's
+	// payload bytes.
 	Value int64
+	// Seq is the per-directed-link monotone sequence number of message
+	// events (counters emitted through CountSeq and virtual send/recv
+	// windows), -1 when the event is not a link message. Links are FIFO
+	// in every transport of this repo, so (from, to, seq) pairs a send
+	// with exactly one recv — the causal edge trace assembly needs.
+	Seq int64
+	// VStartNanos/VEndNanos bound an EventVirtual's busy window on the
+	// virtual clock, in float64 nanoseconds since the virtual origin.
+	// Both bounds are carried explicitly (not end+duration): the
+	// producer converts exact virtual seconds to nanos with one
+	// rounding each, so two events whose true times coincide stay
+	// bitwise equal — the property trace assembly's exact causal
+	// binding relies on.
+	VStartNanos float64
+	VEndNanos   float64
 }
 
 // Sink consumes events. Sinks must be safe for concurrent use: a
@@ -263,6 +297,7 @@ func (s Span) End() {
 		Chunk:     s.chunk,
 		Step:      s.step,
 		DurNanos:  end - s.start,
+		Seq:       -1,
 	})
 }
 
@@ -270,6 +305,14 @@ func (s Span) End() {
 // directed link as (node, peer); node-attributed counters pass peer=-1.
 // Zero deltas are dropped. No-op on a nil tracer.
 func (t *Tracer) Count(kind CounterKind, node, peer int, delta int64) {
+	t.CountSeq(kind, node, peer, delta, -1, -1)
+}
+
+// CountSeq is Count for per-message link counters: seq is the message's
+// per-directed-link monotone sequence number and step the training
+// iteration the message belongs to (-1 when unknown). Kinds that are
+// not per-message pass through Count with seq = step = -1.
+func (t *Tracer) CountSeq(kind CounterKind, node, peer int, delta, seq, step int64) {
 	if t == nil || delta == 0 {
 		return
 	}
@@ -280,8 +323,35 @@ func (t *Tracer) Count(kind CounterKind, node, peer int, delta int64) {
 		Node:      int32(node),
 		Peer:      int32(peer),
 		Chunk:     -1,
-		Step:      -1,
+		Step:      step,
 		Value:     delta,
+		Seq:       seq,
+	})
+}
+
+// Virtual emits a completed window on the virtual alpha-beta clock.
+// kind is SpanSend/SpanRecv for message NIC windows (node/peer the
+// directed link owner-first: the sender for sends, the receiver for
+// recvs; seq the link sequence; value the payload bytes) or
+// SpanCompute/SpanCompress for charged work (peer = -1, seq = -1).
+// startNanos/endNanos are float64 virtual nanoseconds. No-op on a nil
+// tracer.
+func (t *Tracer) Virtual(kind SpanKind, node, peer, chunk int, step, seq, value int64, startNanos, endNanos float64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{
+		WallNanos:   baseWall + Monotonic(),
+		Type:        EventVirtual,
+		Span:        kind,
+		Node:        int32(node),
+		Peer:        int32(peer),
+		Chunk:       int32(chunk),
+		Step:        step,
+		Value:       value,
+		Seq:         seq,
+		VStartNanos: startNanos,
+		VEndNanos:   endNanos,
 	})
 }
 

@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -188,55 +187,122 @@ func TestParsePromRejectsGarbage(t *testing.T) {
 	}
 }
 
-// jsonlLine is the documented JSONL schema, decoded strictly.
-type jsonlLine struct {
-	TS      int64  `json:"ts"`
-	Type    string `json:"type"`
-	Span    string `json:"span"`
-	Counter string `json:"counter"`
-	Node    int    `json:"node"`
-	Peer    int    `json:"peer"`
-	Chunk   int    `json:"chunk"`
-	Step    int64  `json:"step"`
-	DurNS   int64  `json:"dur_ns"`
-	Value   int64  `json:"value"`
-}
-
 // TestJSONLSchema asserts every emitted line is valid JSON matching the
-// documented schema — parsed back with encoding/json, the consumer's
-// view.
+// documented v2 schema: a leading meta record, then strictly-decodable
+// span/counter/virtual lines — parsed back through DecodeJSONL, the
+// consumer's view, which rejects unknown fields and kinds.
 func TestJSONLSchema(t *testing.T) {
 	var buf bytes.Buffer
-	j := NewJSONL(&buf)
+	j := NewJSONLForNode(&buf, 2)
 	tr := New(j)
 	sp := tr.Begin(SpanEncode, 2, -1, 5, 11)
 	sp.End()
-	tr.Count(CounterSentBytes, 0, 3, 4096)
+	tr.CountSeq(CounterSentBytes, 0, 3, 4096, 12, 11)
+	tr.Virtual(SpanSend, 0, 3, -1, 11, 12, 4096, 976.5625, 1953.125)
 	if err := j.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want meta+span+counter+virtual:\n%s", len(lines), buf.String())
 	}
-	var span, counter jsonlLine
-	dec := json.NewDecoder(strings.NewReader(lines[0]))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&span); err != nil {
-		t.Fatalf("span line %q: %v", lines[0], err)
+	meta, evs, err := DecodeJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
 	}
-	dec = json.NewDecoder(strings.NewReader(lines[1]))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&counter); err != nil {
-		t.Fatalf("counter line %q: %v", lines[1], err)
+	if meta.Schema != SchemaVersion || meta.Node != 2 || meta.GOOS == "" || meta.GOARCH == "" ||
+		meta.GoVersion == "" || meta.EpochNanos == 0 {
+		t.Errorf("meta = %+v", meta)
 	}
-	if span.Type != "span" || span.Span != "encode" || span.Node != 2 || span.Peer != -1 ||
-		span.Chunk != 5 || span.Step != 11 || span.DurNS < 0 || span.TS == 0 {
-		t.Errorf("span line = %+v", span)
+	if len(evs) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(evs))
 	}
-	if counter.Type != "counter" || counter.Counter != "sent_bytes" || counter.Node != 0 ||
-		counter.Peer != 3 || counter.Value != 4096 {
-		t.Errorf("counter line = %+v", counter)
+	span, counter, virt := evs[0], evs[1], evs[2]
+	if span.Type != EventSpan || span.Span != SpanEncode || span.Node != 2 || span.Peer != -1 ||
+		span.Chunk != 5 || span.Step != 11 || span.DurNanos < 0 || span.WallNanos == 0 || span.Seq != -1 {
+		t.Errorf("span event = %+v", span)
+	}
+	if counter.Type != EventCounter || counter.Counter != CounterSentBytes || counter.Node != 0 ||
+		counter.Peer != 3 || counter.Value != 4096 || counter.Seq != 12 || counter.Step != 11 {
+		t.Errorf("counter event = %+v", counter)
+	}
+	// The virtual window's float64 nanoseconds must round-trip exactly:
+	// dyadic virtual clocks stay bit-identical through the stream.
+	if virt.Type != EventVirtual || virt.Span != SpanSend || virt.Node != 0 || virt.Peer != 3 ||
+		virt.Seq != 12 || virt.Step != 11 || virt.Value != 4096 ||
+		virt.VStartNanos != 976.5625 || virt.VEndNanos != 1953.125 {
+		t.Errorf("virtual event = %+v", virt)
+	}
+}
+
+// TestDecodeJSONLRejects pins the strict-decode failure modes: streams
+// without a meta record, unknown schema versions, unknown line types,
+// unknown kinds, and unknown fields must all error rather than decode
+// loosely.
+func TestDecodeJSONLRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty stream":     "",
+		"no meta record":   `{"ts":1,"type":"counter","counter":"sent_bytes","node":0,"peer":1,"step":-1,"seq":-1,"value":1}` + "\n",
+		"unknown schema":   `{"type":"meta","schema":99,"node":0,"goos":"linux","goarch":"amd64","go":"go1.24","epoch_ns":1}` + "\n",
+		"duplicate meta":   validMeta + validMeta,
+		"unknown type":     validMeta + `{"ts":1,"type":"gauge","node":0,"peer":-1}` + "\n",
+		"unknown counter":  validMeta + `{"ts":1,"type":"counter","counter":"bogus","node":0,"peer":1,"step":-1,"seq":-1,"value":1}` + "\n",
+		"unknown span":     validMeta + `{"ts":1,"type":"span","span":"bogus","node":0,"peer":-1,"chunk":-1,"step":-1,"dur_ns":1}` + "\n",
+		"unknown field":    validMeta + `{"ts":1,"type":"counter","counter":"sent_bytes","node":0,"peer":1,"step":-1,"seq":-1,"value":1,"extra":true}` + "\n",
+		"meta extra field": `{"type":"meta","schema":2,"node":0,"goos":"linux","goarch":"amd64","go":"go1.24","epoch_ns":1,"extra":1}` + "\n",
+	}
+	for name, stream := range cases {
+		if _, _, err := DecodeJSONL(strings.NewReader(stream)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if _, _, err := DecodeJSONL(strings.NewReader(validMeta)); err != nil {
+		t.Errorf("meta-only stream should decode: %v", err)
+	}
+}
+
+const validMeta = `{"type":"meta","schema":2,"node":0,"goos":"linux","goarch":"amd64","go":"go1.24","epoch_ns":1}` + "\n"
+
+// TestAggregatorDroppedSamplesCounter pins the satellite: once the span
+// ring overflows, the overwritten sample count is exact, surfaces in
+// SpanSummary.Dropped and renders as
+// sidco_span_samples_dropped_total{span=...} so truncated percentiles
+// are visible to a scrape.
+func TestAggregatorDroppedSamplesCounter(t *testing.T) {
+	agg := NewAggregator()
+	const extra = 37
+	for i := 0; i < ringCap+extra; i++ {
+		agg.Emit(Event{Type: EventSpan, Span: SpanStep, DurNanos: 1})
+	}
+	agg.Emit(Event{Type: EventSpan, Span: SpanApply, DurNanos: 1}) // under the ring bound
+	var step, apply SpanSummary
+	for _, s := range agg.Spans() {
+		switch s.Kind {
+		case SpanStep:
+			step = s
+		case SpanApply:
+			apply = s
+		}
+	}
+	if step.Dropped != extra {
+		t.Errorf("step dropped = %d, want %d", step.Dropped, extra)
+	}
+	if apply.Dropped != 0 {
+		t.Errorf("apply dropped = %d, want 0", apply.Dropped)
+	}
+	var buf bytes.Buffer
+	if err := agg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseProm(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m[`sidco_span_samples_dropped_total{span="step"}`]; got != extra {
+		t.Errorf(`sidco_span_samples_dropped_total{span="step"} = %v, want %d`, got, extra)
+	}
+	if got, ok := m[`sidco_span_samples_dropped_total{span="apply"}`]; !ok || got != 0 {
+		t.Errorf(`sidco_span_samples_dropped_total{span="apply"} = %v (present %v), want 0`, got, ok)
 	}
 }
 
