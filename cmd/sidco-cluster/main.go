@@ -203,11 +203,11 @@ func measuredVsPredicted(workers, dim int, delta float64, seed int64) error {
 		switch coll {
 		case netsim.CollectiveRing:
 			wantMsgs = workers * netsim.RingMessages(workers)
-			wantBytes = 2 * (workers - 1) * 8 * dim
+			wantBytes = netsim.RingTrafficBytes(workers, 8*dim)
 			predicted = net.AllReduceDense(8 * dim)
 		case netsim.CollectiveAllGather:
 			wantMsgs = workers * netsim.AllGatherMessages(workers)
-			wantBytes = workers * (workers - 1) * encoding.Pairs64Size(dim, nnz)
+			wantBytes = workers * netsim.AllGatherTrafficBytes(workers, encoding.Pairs64Size(dim, nnz))
 			predicted = net.AllGatherSparse(encoding.Pairs64Size(dim, nnz))
 		case netsim.CollectivePS:
 			aggNNZ := 0
@@ -217,7 +217,7 @@ func measuredVsPredicted(workers, dim int, delta float64, seed int64) error {
 				}
 			}
 			wantMsgs = netsim.PSMessages(workers)
-			wantBytes = workers * (encoding.Pairs64Size(dim, nnz) + encoding.Pairs64Size(dim, aggNNZ))
+			wantBytes = netsim.PSTrafficBytes(workers, encoding.Pairs64Size(dim, nnz), encoding.Pairs64Size(dim, aggNNZ))
 			predicted = net.ParameterServer(encoding.Pairs64Size(dim, nnz), encoding.Pairs64Size(dim, aggNNZ))
 		}
 		tbl.AddRow(coll.String(),

@@ -45,9 +45,10 @@ func main() {
 	scale := flag.Int("scale", 100, "dimension divisor for statistical streams")
 	seed := flag.Int64("seed", 1, "random seed")
 	dim := flag.Int("dim", 2_000_000, "dimension for -fig wallclock")
-	jsonOut := flag.Bool("json", false, "emit a sidco-bench/v1 JSON bench record to stdout and exit")
+	jsonOut := flag.Bool("json", false, "emit a sidco-bench/v2 JSON bench history to stdout and exit")
 	compare := flag.String("compare", "", "with -json: baseline record to diff against; exit non-zero on throughput regression")
 	tolerance := flag.Float64("tolerance", 0.30, "with -compare: allowed fractional MB/s drop before failing")
+	parallel := flag.Int("parallel", 1, "compression parallelism: -json emits an extra history entry at this fan-out; -compare measures at it")
 	flag.Parse()
 
 	opt := harness.Options{Iters: *iters, SimScale: *scale, Seed: *seed}
@@ -63,17 +64,24 @@ func main() {
 		// Fixed default parameters (only the seed is taken from flags) so
 		// every emitted record is comparable with the committed baseline.
 		if *compare == "" {
-			run("bench", func() error { return harness.WriteBenchJSON(w, harness.BenchOptions{Seed: *seed}) })
+			run("bench", func() error {
+				return harness.WriteBenchJSON(w, harness.BenchOptions{Seed: *seed, Parallelism: *parallel})
+			})
 			return
 		}
-		baseline, err := harness.LoadBenchReport(*compare)
+		history, err := harness.LoadBenchHistory(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sidco-micro: %v\n", err)
+			os.Exit(1)
+		}
+		baseline, err := history.EntryFor(*parallel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sidco-micro: %v\n", err)
 			os.Exit(1)
 		}
 		var current *harness.BenchReport
 		run("bench", func() error {
-			current, err = harness.BenchRecord(harness.BenchOptions{Seed: *seed})
+			current, err = harness.BenchRecord(harness.BenchOptions{Seed: *seed, Parallelism: *parallel})
 			return err
 		})
 		if regs := harness.CompareBenchReports(baseline, current, *tolerance); len(regs) > 0 {
@@ -82,8 +90,8 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "bench compare: %d compressors within %.0f%% of %s\n",
-			len(current.Compressors), *tolerance*100, *compare)
+		fmt.Fprintf(w, "bench compare: %d compressors within %.0f%% of %s (parallelism %d vs baseline entry at %d)\n",
+			len(current.Compressors), *tolerance*100, *compare, *parallel, baseline.Parallelism)
 		return
 	}
 	switch *fig {

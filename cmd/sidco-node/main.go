@@ -6,7 +6,10 @@
 // / all-gather / parameter-server schedules — including chunked
 // pipelining — execute over real sockets. Over the lossless wire format
 // the deployment reproduces the single-process in-process trainer's
-// global loss sequence bit-for-bit, which -check asserts per process.
+// global loss sequence bit-for-bit, which -check asserts per process —
+// and over the quantized all-gather wires (-format pairs, pairs-f16,
+// pairs-bf16, pairs-i8) too, because error feedback pre-rounds every
+// selected value to wire precision before it ships.
 //
 // Host list: a comma-separated -hosts value or a -hostfile with one
 // host:port per line; entry i is node i's listen address. Under
@@ -19,6 +22,7 @@
 //	sidco-node -launch 4 -collective ps -chunks 0 -compressor topk
 //	sidco-node -node 0 -hosts host0:7000,host1:7000,host2:7000 -iters 8
 //	sidco-node -node 2 -hostfile hosts.txt -collective allgather -chunks 4 -check
+//	sidco-node -launch 4 -format pairs-i8 -check    # int8 wire (~8x fewer value bytes), still bit-gated via EC pre-rounding
 //	sidco-node -launch 4 -metrics auto -check   # + per-process /metrics endpoints, scrape-verified
 //
 // -launch spawns the whole deployment on this machine (kernel-assigned
@@ -54,6 +58,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compress"
 	"repro/internal/dist"
+	"repro/internal/encoding"
 	"repro/internal/harness"
 	"repro/internal/netsim"
 	"repro/internal/nn"
@@ -72,6 +77,8 @@ type options struct {
 	compressor    string
 	delta         float64
 	seed          int64
+	format        string
+	parallel      int
 	check         bool
 	metrics       string
 	telemetryPath string
@@ -91,6 +98,8 @@ func main() {
 	flag.StringVar(&opt.compressor, "compressor", "sidco-e", "registry compressor (none: dense training)")
 	flag.Float64Var(&opt.delta, "delta", 0.05, "compression ratio k/d")
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
+	flag.StringVar(&opt.format, "format", "lossless", "gradient wire format: lossless, pairs, bitmap, dense, delta-varint, pairs-f16, pairs-bf16 or pairs-i8 (lossy wires pair with error feedback, which absorbs the rounding residual)")
+	flag.IntVar(&opt.parallel, "parallel", 1, "per-process compression/decode fan-out (goroutines); selections stay bit-identical at any setting")
 	flag.BoolVar(&opt.check, "check", false, "verify global losses bit-identical to the in-process trainer and per-node traffic against the collective formulas")
 	flag.StringVar(&opt.metrics, "metrics", "", "serve /metrics, /healthz and /debug/pprof on this address (\"auto\": kernel-assigned loopback port)")
 	flag.StringVar(&opt.telemetryPath, "telemetry", "", "stream telemetry events as JSONL to this file (per-rank suffix under -launch)")
@@ -222,6 +231,13 @@ func (nt *nodeTelemetry) close() {
 // as cmd/sidco-cluster) at any (workers, firstWorker) split, so N
 // single-worker processes draw exactly the batches of one N-worker
 // in-process trainer. tel is nil for the telemetry-free reference run.
+//
+// With a lossy -format and a compressor, both the deployment trainer and
+// the -check reference trainer pre-round every selected value to the
+// wire's precision through error feedback (TrainerConfig.ECWire): the
+// quantization residual feeds back into the next step, and — because the
+// emitted values are fixed points of the wire's rounding — what the
+// sockets deliver is exactly what the in-process reference computes.
 func trainerFor(opt options, workers, firstWorker int, ex dist.GradientExchange, tel *telemetry.Tracer) (*dist.Trainer, error) {
 	rng := rand.New(rand.NewSource(opt.seed))
 	model := nn.NewSequential(
@@ -232,6 +248,18 @@ func trainerFor(opt options, workers, firstWorker int, ex dist.GradientExchange,
 	var factory func() compress.Compressor
 	if opt.compressor != "" && opt.compressor != "none" {
 		factory = harness.Factory(opt.compressor, opt.seed)
+	}
+	wire, err := cluster.ParseWire(opt.format)
+	if err != nil {
+		return nil, err
+	}
+	var ecWire *encoding.Format
+	if factory != nil && wire != cluster.WireLossless {
+		f, err := wire.Format()
+		if err != nil {
+			return nil, err
+		}
+		ecWire = &f
 	}
 	return dist.NewTrainer(dist.TrainerConfig{
 		Workers:     workers,
@@ -253,6 +281,8 @@ func trainerFor(opt options, workers, firstWorker int, ex dist.GradientExchange,
 		NewCompressor: factory,
 		Delta:         opt.delta,
 		EC:            factory != nil,
+		ECWire:        ecWire,
+		Parallelism:   opt.parallel,
 		Seed:          opt.seed,
 		Exchange:      ex,
 		Telemetry:     tel,
@@ -282,6 +312,10 @@ func runNode(opt options) error {
 	if opt.node >= len(hosts) {
 		return fmt.Errorf("-node %d outside the %d-host list", opt.node, len(hosts))
 	}
+	wire, err := cluster.ParseWire(opt.format)
+	if err != nil {
+		return err
+	}
 	nt, err := setupTelemetry(opt)
 	if err != nil {
 		return err
@@ -298,12 +332,14 @@ func runNode(opt options) error {
 	}
 	defer tp.Close()
 	nd, err := cluster.NewNode(cluster.NodeConfig{
-		Workers:    workers,
-		Rank:       opt.node,
-		Collective: coll,
-		Chunks:     opt.chunks,
-		Transport:  tp,
-		Telemetry:  nt.tracer,
+		Workers:     workers,
+		Rank:        opt.node,
+		Collective:  coll,
+		Format:      wire,
+		Chunks:      opt.chunks,
+		Parallelism: opt.parallel,
+		Transport:   tp,
+		Telemetry:   nt.tracer,
 	})
 	if err != nil {
 		return err
@@ -365,9 +401,26 @@ func printLosses(opt options, coll netsim.Collective, losses []float64) {
 	tbl.Render(os.Stdout)
 }
 
+// wireValueExact reports whether the wire delivers each worker's
+// selected values exactly as the -check reference trainer computes them.
+// The lossless wire always does. A lossy wire does when a compressor is
+// on — error feedback then pre-rounds every selection to wire precision,
+// and the emitted values are fixed points of the wire's rounding — with
+// one exception: pairs-i8 under chunked pipelining re-derives its int8
+// scale per chunk, which differs from the monolithic pre-round.
+func wireValueExact(opt options, wire cluster.Wire) bool {
+	if wire == cluster.WireLossless {
+		return true
+	}
+	if opt.compressor == "" || opt.compressor == "none" {
+		return false
+	}
+	return wire != cluster.WirePairsI8 || opt.chunks <= 1
+}
+
 // checkNodeRun asserts this process saw exactly the run the in-process
 // trainer produces: bit-identical global losses (for the
-// order-preserving collectives over the lossless wire) and per-node
+// order-preserving collectives over a value-exact wire) and per-node
 // traffic matching the collective step formulas. With -metrics it
 // additionally scrapes this process's own HTTP endpoint and asserts
 // the exported counters agree.
@@ -380,7 +433,23 @@ func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.
 	if err != nil {
 		return err
 	}
+	wire, err := cluster.ParseWire(opt.format)
+	if err != nil {
+		return err
+	}
 	resolved := resolveCollective(opt, coll)
+	// The all-gather replays each worker's pre-rounded selection
+	// verbatim, so any value-exact wire keeps it bitwise. The parameter
+	// server re-encodes the aggregated mean on the pull side — a mean of
+	// wire fixed points is not itself a fixed point — so only the
+	// lossless wire stays exact there.
+	exact := wireValueExact(opt, wire)
+	if resolved == netsim.CollectivePS {
+		exact = wire == cluster.WireLossless
+	}
+	if (resolved == netsim.CollectiveAllGather || resolved == netsim.CollectivePS) && !exact {
+		return fmt.Errorf("check: -format %s is not value-exact for this run (compressor off, chunked pairs-i8, or a ps pull re-encode) — no bit-exact reference exists; use -format lossless, or pairs-i8 with a compressor and -chunks <= 1, or drop -check", opt.format)
+	}
 	bitwise := resolved == netsim.CollectiveAllGather || resolved == netsim.CollectivePS
 	for i := range want {
 		if bitwise && losses[i] != want[i] {
@@ -538,6 +607,8 @@ func runLaunch(opt options) error {
 			"-compressor", opt.compressor,
 			"-delta", fmt.Sprint(opt.delta),
 			"-seed", fmt.Sprint(opt.seed),
+			"-format", opt.format,
+			"-parallel", fmt.Sprint(opt.parallel),
 			"-dial-timeout", opt.dialTimeout.String(),
 		}
 		if opt.check {

@@ -55,6 +55,12 @@ type Config struct {
 	// hide behind in-flight communication (scaled per node by the
 	// scenario's straggler factors).
 	CompressSec float64
+	// Parallelism fans each node's per-origin payload decodes out over
+	// up to this many goroutines per chunk round; the decoded
+	// contributions are then reduced serially in worker-index order, so
+	// aggregates are bit-identical to the sequential schedule at any
+	// setting. 0 or 1 decodes sequentially.
+	Parallelism int
 	// Telemetry, if non-nil, traces every round (per-node collective
 	// spans, per-chunk encode spans) and the gradient traffic on the
 	// instrumented transport (per-link sent/recv message and byte
@@ -93,7 +99,52 @@ const (
 	WireDense
 	// WireDeltaVarint ships encoding.FormatDeltaVarint.
 	WireDeltaVarint
+	// WirePairsF16 ships encoding.FormatPairsF16: 6 bytes per element,
+	// IEEE binary16 values.
+	WirePairsF16
+	// WirePairsBF16 ships encoding.FormatPairsBF16: 6 bytes per
+	// element, bfloat16 values.
+	WirePairsBF16
+	// WirePairsI8 ships encoding.FormatPairsI8: 5 bytes per element
+	// plus a 4-byte payload-wide scale, absmax-scaled int8 values — the
+	// most aggressive quantized wire (8x smaller values than lossless).
+	WirePairsI8
 )
+
+// String implements fmt.Stringer; the names are what ParseWire accepts.
+func (w Wire) String() string {
+	switch w {
+	case WireLossless:
+		return "lossless"
+	case WirePairs:
+		return "pairs"
+	case WireBitmap:
+		return "bitmap"
+	case WireDense:
+		return "dense"
+	case WireDeltaVarint:
+		return "delta-varint"
+	case WirePairsF16:
+		return "pairs-f16"
+	case WirePairsBF16:
+		return "pairs-bf16"
+	case WirePairsI8:
+		return "pairs-i8"
+	default:
+		return fmt.Sprintf("wire(%d)", int(w))
+	}
+}
+
+// ParseWire resolves a wire format name (the String values) — the
+// -format flag of cmd/sidco-node.
+func ParseWire(name string) (Wire, error) {
+	for w := WireLossless; w <= WirePairsI8; w++ {
+		if w.String() == name {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown wire format %q (want lossless, pairs, bitmap, dense, delta-varint, pairs-f16, pairs-bf16 or pairs-i8)", name)
+}
 
 // Format maps the wire selector onto its encoding format.
 func (w Wire) Format() (encoding.Format, error) {
@@ -108,6 +159,12 @@ func (w Wire) Format() (encoding.Format, error) {
 		return encoding.FormatDense, nil
 	case WireDeltaVarint:
 		return encoding.FormatDeltaVarint, nil
+	case WirePairsF16:
+		return encoding.FormatPairsF16, nil
+	case WirePairsBF16:
+		return encoding.FormatPairsBF16, nil
+	case WirePairsI8:
+		return encoding.FormatPairsI8, nil
 	default:
 		return 0, fmt.Errorf("cluster: unknown wire format %d", int(w))
 	}
@@ -230,6 +287,7 @@ func New(cfg Config) (*Engine, error) {
 			server:      server,
 			format:      format,
 			chunks:      cfg.Chunks,
+			parallel:    cfg.Parallelism,
 			computeSec:  cfg.ComputeSec,
 			compressSec: cfg.CompressSec,
 			tp:          NewInstrumented(inner, cfg.Scenario).WithTelemetry(cfg.Telemetry),

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/encoding"
 	"repro/internal/netsim"
+	"repro/internal/par"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -22,6 +23,7 @@ type sched struct {
 	server      int // server node id under PS, else -1
 	format      encoding.Format
 	chunks      int
+	parallel    int // decode fan-out per chunk round (<=1: sequential)
 	computeSec  float64
 	compressSec float64
 	tp          *Instrumented
@@ -38,9 +40,11 @@ type nodeScratch struct {
 	gather [][]byte
 	ready  []float64 // per-chunk compression completion (virtual time)
 	dec    tensor.Sparse
-	view   tensor.Sparse // chunk subrange of the local selection
-	full   tensor.Sparse // full-support view of a dense gradient
-	ident  []int32       // 0..dim-1 ramp for dense-as-sparse views
+	decs   []tensor.Sparse // per-origin decode targets of the parallel path
+	decErr []error         // per-origin decode outcomes, drained in order
+	view   tensor.Sparse   // chunk subrange of the local selection
+	full   tensor.Sparse   // full-support view of a dense gradient
+	ident  []int32         // 0..dim-1 ramp for dense-as-sparse views
 }
 
 // chunkCount resolves the configured chunking (0 or 1: monolithic).
@@ -94,7 +98,7 @@ func (s *sched) runCollective(w int, jb job, sc *nodeScratch, out []float64) err
 			return err
 		}
 		sc.enc = growSlots(sc.enc, 1)
-		es := s.tel.Begin(telemetry.SpanEncode, w, -1, -1, int64(jb.step))
+		es := s.tel.Begin(telemetry.SpanEncode, w, -1, -1, int64(jb.step)).WithValue(int64(s.format))
 		sc.enc[0], err = encoding.EncodeTo(sc.enc[0][:0], sp, s.format)
 		es.End()
 		if err != nil {
@@ -173,7 +177,7 @@ func (s *sched) runAllGather(w int, jb job, sc *nodeScratch, out []float64) erro
 			sc.view = tensor.Sparse{Dim: jb.dim, Idx: sp.Idx[pos:end], Vals: sp.Vals[pos:end]}
 			pos = end
 			var err error
-			es := s.tel.Begin(telemetry.SpanEncode, w, -1, encoded, int64(jb.step))
+			es := s.tel.Begin(telemetry.SpanEncode, w, -1, encoded, int64(jb.step)).WithValue(int64(s.format))
 			sc.enc[encoded], err = encoding.EncodeTo(sc.enc[encoded][:0], &sc.view, s.format)
 			es.End()
 			if err != nil {
@@ -202,15 +206,44 @@ func (s *sched) runAllGather(w int, jb job, sc *nodeScratch, out []float64) erro
 			return err
 		}
 		// Decode and reduce in worker-index order: with a lossless format
-		// this is the exact operation sequence of dist.InProcess.
-		for origin := 0; origin < n; origin++ {
-			if err := encoding.DecodeInto(&sc.dec, sc.gather[origin]); err != nil {
-				return fmt.Errorf("decoding origin %d chunk %d: %w", origin, c, err)
+		// this is the exact operation sequence of dist.InProcess. With
+		// parallel > 1 the per-origin decodes fan out into per-origin
+		// scratch, but the floating-point reduction below still runs
+		// serially in worker-index order, so the aggregate stays
+		// bit-identical to the sequential schedule.
+		if p := s.parallel; p > 1 && n > 1 {
+			if p > n {
+				p = n
 			}
-			if sc.dec.Dim != jb.dim {
-				return fmt.Errorf("origin %d has dim %d, want %d", origin, sc.dec.Dim, jb.dim)
+			for len(sc.decs) < n {
+				sc.decs = append(sc.decs, tensor.Sparse{})
+				sc.decErr = append(sc.decErr, nil)
 			}
-			sc.dec.AddTo(out)
+			par.Do(p, func(worker int) {
+				lo, hi := par.RangeBounds(n, p, worker)
+				for origin := lo; origin < hi; origin++ {
+					sc.decErr[origin] = encoding.DecodeInto(&sc.decs[origin], sc.gather[origin])
+				}
+			})
+			for origin := 0; origin < n; origin++ {
+				if err := sc.decErr[origin]; err != nil {
+					return fmt.Errorf("decoding origin %d chunk %d: %w", origin, c, err)
+				}
+				if sc.decs[origin].Dim != jb.dim {
+					return fmt.Errorf("origin %d has dim %d, want %d", origin, sc.decs[origin].Dim, jb.dim)
+				}
+				sc.decs[origin].AddTo(out)
+			}
+		} else {
+			for origin := 0; origin < n; origin++ {
+				if err := encoding.DecodeInto(&sc.dec, sc.gather[origin]); err != nil {
+					return fmt.Errorf("decoding origin %d chunk %d: %w", origin, c, err)
+				}
+				if sc.dec.Dim != jb.dim {
+					return fmt.Errorf("origin %d has dim %d, want %d", origin, sc.dec.Dim, jb.dim)
+				}
+				sc.dec.AddTo(out)
+			}
 		}
 	}
 	tensor.Scale(1/float64(n), out)
@@ -315,9 +348,13 @@ type NodeConfig struct {
 	// Collective, Format, Chunks, ComputeSec and CompressSec mirror the
 	// same Config fields; every process of a deployment must pass
 	// identical values or the interlocking schedules diverge.
+	// Parallelism is purely node-local (it never changes what goes on
+	// the wire or the reduction order), so it may differ across the
+	// processes of one deployment.
 	Collective  netsim.Collective
 	Format      Wire
 	Chunks      int
+	Parallelism int
 	ComputeSec  float64
 	CompressSec float64
 	// Transport is required: typically a TCPTransport hosting this rank
@@ -414,6 +451,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			server:      server,
 			format:      format,
 			chunks:      cfg.Chunks,
+			parallel:    cfg.Parallelism,
 			computeSec:  cfg.ComputeSec,
 			compressSec: cfg.CompressSec,
 			tp:          NewInstrumented(cfg.Transport, cfg.Scenario).WithTelemetry(cfg.Telemetry),

@@ -193,6 +193,11 @@ func NewTopK() *TopK { return &TopK{} }
 // Name implements Compressor.
 func (*TopK) Name() string { return "topk" }
 
+// SetParallelism implements Parallelizable: the radix histogram, the
+// candidate gather and the keep/tie filter pass fan out over p
+// goroutines with bit-identical selection.
+func (t *TopK) SetParallelism(p int) { t.sel.SetParallelism(p) }
+
 // Compress implements Compressor.
 func (t *TopK) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 	return FreshCompress(t, g, delta)

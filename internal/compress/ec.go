@@ -3,6 +3,8 @@ package compress
 import (
 	"fmt"
 
+	"repro/internal/encoding"
+	"repro/internal/par"
 	"repro/internal/tensor"
 )
 
@@ -11,17 +13,51 @@ import (
 // of iteration i-1 is added to the gradient of iteration i before
 // compression, so no gradient mass is permanently lost. This is the
 // memory-based compression mode of Appendix B.2.
+//
+// With SetWireFormat the same mechanism additionally absorbs the wire
+// quantization residual: the selected values are rounded to exactly what
+// a receiver of the given encoding format will decode, and the
+// difference joins the residual. The transmitted gradient then matches
+// what every rank applies, bit for bit, while the precision lost to the
+// narrow format is corrected over subsequent steps instead of discarded.
 type ErrorFeedback struct {
 	// Inner is the wrapped sparsifier.
 	Inner Compressor
 
 	residual []float64
 	buf      []float64
+	wire     encoding.Format
+	wireSet  bool
+	parP     int
 }
 
 // NewErrorFeedback wraps inner with a fresh (zero) residual.
 func NewErrorFeedback(inner Compressor) *ErrorFeedback {
 	return &ErrorFeedback{Inner: inner}
+}
+
+// SetWireFormat makes the wrapper pre-round selected values to format
+// f's decoded precision before computing the residual. For the
+// per-value formats (float32, binary16, bfloat16, lossless float64)
+// the rounding is wire-exact regardless of how the selection is later
+// chunked; FormatPairsI8 derives its scale from the whole value stream,
+// so it is wire-exact only when the selection is encoded monolithically
+// (cluster chunks <= 1).
+func (e *ErrorFeedback) SetWireFormat(f encoding.Format) {
+	e.wire = f
+	e.wireSet = true
+}
+
+// ClearWireFormat restores plain sparsification-only error feedback.
+func (e *ErrorFeedback) ClearWireFormat() { e.wireSet = false }
+
+// SetParallelism implements Parallelizable: the dense
+// residual-accumulate and residual-rebuild passes fan out over p
+// goroutines (elementwise on disjoint ranges, so trivially
+// bit-identical), and the knob forwards to the wrapped compressor.
+func (e *ErrorFeedback) SetParallelism(p int) {
+	e.parP = p
+	SetParallelism(e.Inner, p)
 }
 
 // Name implements Compressor.
@@ -48,15 +84,45 @@ func (e *ErrorFeedback) CompressInto(dst *tensor.Sparse, g []float64, delta floa
 	}
 
 	corrected := e.buf
-	copy(corrected, g)
-	tensor.Add(e.residual, corrected)
+	p := e.parP
+	if p < 1 || d < 1<<14 {
+		p = 1
+	}
+	// The serial path is written out rather than run as par.Do(1, ...):
+	// the range-bounded closures capture locals and would allocate,
+	// breaking the zero-alloc steady-state contract at P=1.
+	if p == 1 {
+		copy(corrected, g)
+		tensor.Add(e.residual, corrected)
+	} else {
+		par.Do(p, func(w int) {
+			lo, hi := par.RangeBounds(d, p, w)
+			copy(corrected[lo:hi], g[lo:hi])
+			tensor.Add(e.residual[lo:hi], corrected[lo:hi])
+		})
+	}
 
 	if err := e.Inner.CompressInto(dst, corrected, delta); err != nil {
 		return err
 	}
 
+	// Round the selection to the wire's decoded precision first, so the
+	// residual below absorbs the quantization error too.
+	if e.wireSet {
+		if err := encoding.RoundTripValues(e.wire, dst.Vals); err != nil {
+			return err
+		}
+	}
+
 	// residual = corrected - scatter(selection)
-	copy(e.residual, corrected)
+	if p == 1 {
+		copy(e.residual, corrected)
+	} else {
+		par.Do(p, func(w int) {
+			lo, hi := par.RangeBounds(d, p, w)
+			copy(e.residual[lo:hi], corrected[lo:hi])
+		})
+	}
 	for i, j := range dst.Idx {
 		e.residual[j] -= dst.Vals[i]
 	}

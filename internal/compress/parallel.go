@@ -1,0 +1,22 @@
+package compress
+
+// Parallelizable is implemented by compressors whose internal passes
+// (selection histograms, moment fits, threshold filters) can fan out
+// across goroutines. The contract is strict determinism: a compressor
+// must produce bit-identical output at every parallelism level, so the
+// knob trades nothing but wall-clock. p <= 1 selects the serial paths.
+type Parallelizable interface {
+	SetParallelism(p int)
+}
+
+// SetParallelism applies p to c when it supports internal parallelism
+// and reports whether it did. Wrappers (error feedback) forward to the
+// compressor they wrap, so calling this on the outermost compressor
+// configures the whole stack.
+func SetParallelism(c Compressor, p int) bool {
+	if pz, ok := c.(Parallelizable); ok {
+		pz.SetParallelism(p)
+		return true
+	}
+	return false
+}

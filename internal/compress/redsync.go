@@ -26,6 +26,9 @@ type RedSync struct {
 	// AcceptFactor widens the acceptance band to [k, AcceptFactor*k]
 	// (default 2), trading estimation quality for fewer passes.
 	AcceptFactor float64
+
+	stat stats.Par
+	par  tensor.Par
 }
 
 // NewRedSync creates a RedSync compressor with the default search budget.
@@ -35,6 +38,14 @@ func NewRedSync() *RedSync {
 
 // Name implements Compressor.
 func (*RedSync) Name() string { return "redsync" }
+
+// SetParallelism implements Parallelizable: the moment passes and the
+// per-iteration count passes — up to MaxIters full scans of g, RedSync's
+// whole cost — fan out over p goroutines with bit-identical thresholds.
+func (r *RedSync) SetParallelism(p int) {
+	r.stat.P = p
+	r.par.P = p
+}
 
 // Compress implements Compressor.
 func (r *RedSync) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
@@ -49,12 +60,12 @@ func (r *RedSync) CompressInto(dst *tensor.Sparse, g []float64, delta float64) e
 	d := len(g)
 	k := TargetK(d, delta)
 
-	mean := stats.MeanAbs(g)
-	max := stats.MaxAbs(g)
+	mean := r.stat.MeanAbs(g)
+	max := r.stat.MaxAbs(g)
 	if max <= mean {
 		// Degenerate (constant-magnitude) vector: everything ties.
 		dst.Reset(d)
-		dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, mean, dst.Idx, dst.Vals)
+		dst.Idx, dst.Vals = r.par.FilterAbove(g, mean, dst.Idx, dst.Vals)
 		return nil
 	}
 
@@ -63,7 +74,7 @@ func (r *RedSync) CompressInto(dst *tensor.Sparse, g []float64, delta float64) e
 	for iter := 0; iter < r.MaxIters; iter++ {
 		ratio := (lo + hi) / 2
 		eta = mean + ratio*(max-mean)
-		nnz := tensor.CountAboveThreshold(g, eta)
+		nnz := r.par.CountAbove(g, eta)
 		if float64(nnz) >= float64(k) && float64(nnz) <= r.AcceptFactor*float64(k) {
 			break
 		}
@@ -74,6 +85,6 @@ func (r *RedSync) CompressInto(dst *tensor.Sparse, g []float64, delta float64) e
 		}
 	}
 	dst.Reset(d)
-	dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, eta, dst.Idx, dst.Vals)
+	dst.Idx, dst.Vals = r.par.FilterAbove(g, eta, dst.Idx, dst.Vals)
 	return nil
 }

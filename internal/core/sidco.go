@@ -114,6 +114,20 @@ type SIDCo struct {
 	// decomposition.
 	exceed   []float64
 	stageBuf []float64
+
+	stat stats.Par
+	par  tensor.Par
+}
+
+// SetParallelism implements compress.Parallelizable: the moment passes
+// of every stage fit, the exceedance gathers and the threshold filters
+// fan out over p goroutines. Thresholds and selections are bit-identical
+// at every p — the reductions keep the serial code's fixed 4096-element
+// block summation order and the gathers merge per-worker ranges in
+// index order.
+func (s *SIDCo) SetParallelism(p int) {
+	s.stat.P = p
+	s.par.P = p
 }
 
 // New creates a SIDCo compressor from cfg (missing fields defaulted). The
@@ -187,7 +201,7 @@ func (s *SIDCo) CompressInto(dst *tensor.Sparse, g []float64, delta float64) err
 	eta, used := s.estimateThreshold(g, delta, s.stages)
 
 	dst.Reset(d)
-	dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, eta, dst.Idx, dst.Vals)
+	dst.Idx, dst.Vals = s.par.FilterAbove(g, eta, dst.Idx, dst.Vals)
 
 	// Rescue pass: if the estimate collapsed beyond 3x the target on
 	// either side — far outside the paper's epsilon = 0.2 tolerance band —
@@ -201,11 +215,11 @@ func (s *SIDCo) CompressInto(dst *tensor.Sparse, g []float64, delta float64) err
 	s.lastRescued = false
 	refilter := func() {
 		dst.Reset(d)
-		dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, eta, dst.Idx, dst.Vals)
+		dst.Idx, dst.Vals = s.par.FilterAbove(g, eta, dst.Idx, dst.Vals)
 	}
 	collapsed := func(kh int) bool { return kh*3 < k || kh > 3*k }
 	if kHat := dst.NNZ(); collapsed(kHat) {
-		beta := stats.MeanAbs(g)
+		beta := s.stat.MeanAbs(g)
 		if beta > 0 {
 			obs := float64(kHat)
 			if obs < 1 {
@@ -268,7 +282,7 @@ func (s *SIDCo) estimateThreshold(g []float64, delta float64, m int) (eta float6
 
 	// Later stages fit the exceedances (PoT) over the running threshold.
 	// The exceedance buffer is per-instance scratch, reused every call.
-	s.exceed = tensor.ValuesAboveThreshold(g, eta, s.exceed[:0])
+	s.exceed = s.par.ValuesAbove(g, eta, s.exceed[:0])
 	for _, dm := range ratios[1:] {
 		if len(s.exceed) < s.cfg.MinFitSize {
 			break
@@ -278,13 +292,10 @@ func (s *SIDCo) estimateThreshold(g []float64, delta float64, m int) (eta float6
 			break // fit degenerated; keep the last sound threshold
 		}
 		// Keep only exceedances of the new threshold for the next stage.
-		kept := s.exceed[:0]
-		for _, a := range s.exceed {
-			if a > next {
-				kept = append(kept, a)
-			}
-		}
-		s.exceed = kept
+		// The values are already magnitudes, so the strict-exceedance
+		// gather doubles as the in-place compaction (per-worker buffers
+		// are filled before dst is touched, making the aliasing safe).
+		s.exceed = s.par.ValuesAbove(s.exceed, next, s.exceed[:0])
 		eta = next
 		used++
 	}
@@ -296,16 +307,16 @@ func (s *SIDCo) estimateThreshold(g []float64, delta float64, m int) (eta float6
 func (s *SIDCo) firstStageThreshold(g []float64, delta float64) float64 {
 	switch s.cfg.SID {
 	case SIDExponential:
-		return ThresholdExp(stats.MeanAbs(g), delta)
+		return ThresholdExp(s.stat.MeanAbs(g), delta)
 	case SIDGammaGP:
-		mu := stats.MeanAbs(g)
-		muLog := stats.MeanLogAbs(g)
+		mu := s.stat.MeanAbs(g)
+		muLog := s.stat.MeanLogAbs(g)
 		if s.cfg.ApproxGamma {
 			return ThresholdGamma(mu, muLog, delta)
 		}
 		return ThresholdGammaExact(mu, muLog, delta)
 	case SIDGP:
-		mu, v := stats.MeanVarAbs(g)
+		mu, v := s.stat.MeanVarAbs(g)
 		return ThresholdGP(mu, v, delta)
 	default:
 		return math.NaN()
@@ -317,10 +328,10 @@ func (s *SIDCo) firstStageThreshold(g []float64, delta float64) float64 {
 func (s *SIDCo) nextStageThreshold(exceed []float64, etaPrev, delta float64) float64 {
 	switch s.cfg.SID {
 	case SIDExponential:
-		beta := stats.Mean(exceed) - etaPrev
+		beta := s.stat.Mean(exceed) - etaPrev
 		return ThresholdExp(beta, delta) + etaPrev
 	case SIDGammaGP, SIDGP:
-		fit := stats.FitGPExceedance(exceed, etaPrev)
+		fit := s.stat.FitGPExceedance(exceed, etaPrev)
 		return thresholdGPParams(fit, delta) + etaPrev
 	default:
 		return math.NaN()

@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/data"
+	"repro/internal/encoding"
+	"repro/internal/nn"
+)
+
+// quantTrainer builds the conv workload with an optional EC wire format
+// and compression parallelism.
+func quantTrainer(t *testing.T, wire *encoding.Format, parallelism int, seed int64) *Trainer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model := nn.NewSequential(
+		nn.NewConv2D("c1", 3, 6, 3, rng),
+		&nn.ReLU{},
+		&nn.MaxPool2D{},
+		&nn.Flatten{},
+		nn.NewDense("d1", 6*5*5, 10, rng),
+	)
+	ds := data.NewImages(data.ImagesConfig{N: 256, Classes: 10, Seed: seed})
+	tr, err := NewTrainer(TrainerConfig{
+		Workers: 2,
+		Model:   model,
+		Loss:    &nn.SoftmaxCrossEntropy{},
+		Opt:     &nn.SGD{LR: 0.05},
+		Batch: func(worker int, rng *rand.Rand) (*nn.Tensor, []int) {
+			return ds.Batch(rng, 16)
+		},
+		NewCompressor: func() compress.Compressor { return compress.NewTopK() },
+		Delta:         0.05,
+		EC:            true,
+		ECWire:        wire,
+		Parallelism:   parallelism,
+		Seed:          seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestInt8WireConverges trains the conv workload over the int8 EC wire
+// and requires the final loss within a small tolerance of the fp64-wire
+// run: the quantization residual is fed back, so 8x narrower values do
+// not change where training lands, only its rounding path.
+func TestInt8WireConverges(t *testing.T) {
+	const iters = 60
+	run := func(wire *encoding.Format) []float64 {
+		losses, _, err := quantTrainer(t, wire, 0, 9).Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+	ref := run(nil)
+	i8 := encoding.FormatPairsI8
+	quant := run(&i8)
+	refTail, quantTail := mean(ref[iters-10:]), mean(quant[iters-10:])
+	if quantTail > refTail*1.10+0.02 {
+		t.Errorf("int8 wire final loss %v, fp64 wire %v: more than 10%% worse", quantTail, refTail)
+	}
+	// And it must actually have trained.
+	if head := mean(quant[:10]); quantTail >= head {
+		t.Errorf("int8 wire loss did not decrease: first-10 mean %v, last-10 mean %v", head, quantTail)
+	}
+}
+
+// TestTrainerParallelismBitIdentical pins the Parallelism knob's
+// determinism contract end to end: the full loss trajectory and final
+// weights of a multi-core-compression run are bit-identical to the
+// single-core run.
+func TestTrainerParallelismBitIdentical(t *testing.T) {
+	const iters = 6
+	run := func(parallelism int) ([]float64, []float64) {
+		tr := quantTrainer(t, nil, parallelism, 11)
+		losses, _, err := tr.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses, nn.FlattenWeights(tr.cfg.Model.Params(), nil)
+	}
+	l1, w1 := run(0)
+	l8, w8 := run(8)
+	for i := range l1 {
+		if l1[i] != l8[i] {
+			t.Fatalf("loss[%d]: %v (P=1) != %v (P=8)", i, l1[i], l8[i])
+		}
+	}
+	for i := range w1 {
+		if w1[i] != w8[i] {
+			t.Fatalf("weight[%d]: %v (P=1) != %v (P=8)", i, w1[i], w8[i])
+		}
+	}
+}

@@ -201,7 +201,7 @@ func SimulateWorkload(cfg SimConfig) (*SimResult, error) {
 			if nnzFull > wl.Dim {
 				nnzFull = wl.Dim
 			}
-			_, bytes := encoding.BestFormat(wl.Dim, nnzFull)
+			_, bytes := encoding.BestFormat(wl.Dim, nnzFull, encoding.FormatPairs)
 			commLat = cfg.Net.CollectiveTime(cfg.Collective, denseBytes, bytes, true)
 		}
 		sumComp += compressLat

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/compress"
+	"repro/internal/encoding"
 	"repro/internal/nn"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -53,6 +54,18 @@ type TrainerConfig struct {
 	// EC wraps each worker's compressor with error feedback: the
 	// sparsification residual is carried to the next iteration.
 	EC bool
+	// ECWire, if non-nil, additionally makes the error-feedback wrapper
+	// pre-round every selected value to the given wire format's decoded
+	// precision (compress.ErrorFeedback.SetWireFormat), so the
+	// quantization residual of a narrow wire is absorbed by EC rather
+	// than lost. Requires EC. Point it at the encoding format the
+	// deployment's cluster wire actually ships.
+	ECWire *encoding.Format
+	// Parallelism fans each worker's compression passes out over up to
+	// this many goroutines (compress.SetParallelism on every worker's
+	// compressor). Selections are bit-identical at any setting; 0 or 1
+	// stays single-core.
+	Parallelism int
 	// ClipNorm rescales each worker's local gradient to at most this L2
 	// norm before compression (0 disables clipping).
 	ClipNorm float64
@@ -173,7 +186,14 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		if compressed {
 			comp = cfg.NewCompressor()
 			if comp != nil && cfg.EC {
-				comp = compress.NewErrorFeedback(comp)
+				ec := compress.NewErrorFeedback(comp)
+				if cfg.ECWire != nil {
+					ec.SetWireFormat(*cfg.ECWire)
+				}
+				comp = ec
+			}
+			if comp != nil && cfg.Parallelism > 1 {
+				compress.SetParallelism(comp, cfg.Parallelism)
 			}
 		}
 		t.workers[w] = &worker{

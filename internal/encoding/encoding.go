@@ -2,9 +2,29 @@
 // gradients between workers: (uint32 index, float32 value) pair encoding,
 // a bitmap+values encoding that wins at moderate densities, dense float32
 // encoding for the no-compression baseline, delta-varint index gaps, a
-// lossless float64 pair format for bit-exact cluster training, and exact
-// size accounting that the network cost model and the instrumented
-// cluster transport both consume.
+// lossless float64 pair format for bit-exact cluster training, quantized
+// pair formats (binary16, bfloat16, absmax-scaled int8) that narrow the
+// value below float32, and exact size accounting that the network cost
+// model and the instrumented cluster transport both consume.
+//
+// Exact encoded sizes, for a d-dimensional vector with k stored
+// non-zeros (every format starts with the 9-byte header: 1 format byte,
+// uint32 dim, uint32 nnz):
+//
+//	Format           Size in bytes      Value width
+//	FormatPairs      9 + 8k             float32 (4 B) + uint32 index
+//	FormatBitmap     9 + ceil(d/8)+4k   float32 (4 B) + d-bit bitmap
+//	FormatDense      9 + 4d             float32 (4 B), all d positions
+//	FormatDeltaVarint 9 + 4k + gaps     float32 (4 B) + varint index gaps
+//	                                    (data-dependent, <= 9+9k)
+//	FormatPairs64    9 + 12k            float64 (8 B) + uint32 index, lossless
+//	FormatPairsF16   9 + 6k             binary16 (2 B) + uint32 index
+//	FormatPairsBF16  9 + 6k             bfloat16 (2 B) + uint32 index
+//	FormatPairsI8    9 + 4 + 5k         int8 (1 B) + uint32 index,
+//	                                    one shared float32 step
+//
+// Size returns these closed forms programmatically; BestFormat picks the
+// smallest format that preserves a requested value precision.
 package encoding
 
 import (
@@ -29,6 +49,31 @@ const (
 	FormatDense
 )
 
+// String implements fmt.Stringer; the names appear in bench records and
+// telemetry attributions.
+func (f Format) String() string {
+	switch f {
+	case FormatPairs:
+		return "pairs"
+	case FormatBitmap:
+		return "bitmap"
+	case FormatDense:
+		return "dense"
+	case FormatDeltaVarint:
+		return "delta-varint"
+	case FormatPairs64:
+		return "pairs64"
+	case FormatPairsF16:
+		return "pairs-f16"
+	case FormatPairsBF16:
+		return "pairs-bf16"
+	case FormatPairsI8:
+		return "pairs-i8"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
 // header layout: 1 byte format, 4 bytes dim, 4 bytes nnz.
 const headerSize = 9
 
@@ -42,15 +87,92 @@ func BitmapSize(d, k int) int { return headerSize + (d+7)/8 + 4*k }
 // DenseSize returns the encoded size in bytes of the dense format.
 func DenseSize(d int) int { return headerSize + 4*d }
 
-// BestFormat returns the smallest format for the given dimension and
-// non-zero count, with its size in bytes.
-func BestFormat(d, k int) (Format, int) {
-	best, size := FormatPairs, PairsSize(d, k)
-	if s := BitmapSize(d, k); s < size {
-		best, size = FormatBitmap, s
+// Size returns the exact encoded size in bytes of k non-zeros of a
+// d-dimensional vector in format f. FormatDeltaVarint has a
+// data-dependent size (use the encoded buffer's length) and reports an
+// error, as do unknown formats.
+func Size(f Format, d, k int) (int, error) {
+	switch f {
+	case FormatPairs:
+		return PairsSize(d, k), nil
+	case FormatBitmap:
+		return BitmapSize(d, k), nil
+	case FormatDense:
+		return DenseSize(d), nil
+	case FormatPairs64:
+		return Pairs64Size(d, k), nil
+	case FormatPairsF16:
+		return PairsF16Size(d, k), nil
+	case FormatPairsBF16:
+		return PairsBF16Size(d, k), nil
+	case FormatPairsI8:
+		return PairsI8Size(d, k), nil
+	case FormatDeltaVarint:
+		return 0, fmt.Errorf("encoding: delta-varint size is data-dependent")
+	default:
+		return 0, fmt.Errorf("encoding: unknown format %d", f)
 	}
-	if s := DenseSize(d); s < size {
-		best, size = FormatDense, s
+}
+
+// precisionClass orders formats by value width for BestFormat: int8 <
+// {binary16, bfloat16} < float32 < float64. binary16 and bfloat16 share
+// a class because neither is uniformly more precise than the other
+// (binary16 has more mantissa bits, bfloat16 more exponent range).
+func precisionClass(f Format) int {
+	switch f {
+	case FormatPairsI8:
+		return 0
+	case FormatPairsF16, FormatPairsBF16:
+		return 1
+	case FormatPairs64:
+		return 3
+	default: // float32 value formats
+		return 2
+	}
+}
+
+// atLeastAsPrecise reports whether candidate preserves at least the
+// value precision of value. Within the 16-bit class only the identical
+// format qualifies, since binary16 and bfloat16 are not ordered.
+func atLeastAsPrecise(candidate, value Format) bool {
+	cc, vc := precisionClass(candidate), precisionClass(value)
+	if cc != vc {
+		return cc > vc
+	}
+	if cc == 1 {
+		return candidate == value
+	}
+	return true
+}
+
+// BestFormat returns the smallest data-independent-size format for the
+// given dimension and non-zero count that preserves at least the value
+// precision of the value format, with its exact size in bytes. Callers
+// that only care about float32 precision (the historical assumption)
+// pass FormatPairs; passing FormatPairsI8 lets the quantized formats
+// compete, and passing FormatPairs64 always yields FormatPairs64.
+// FormatDeltaVarint never wins (its size is data-dependent).
+func BestFormat(d, k int, value Format) (Format, int) {
+	candidates := [...]struct {
+		f Format
+		s int
+	}{
+		{FormatPairsI8, PairsI8Size(d, k)},
+		{FormatPairsF16, PairsF16Size(d, k)},
+		{FormatPairsBF16, PairsBF16Size(d, k)},
+		{FormatPairs, PairsSize(d, k)},
+		{FormatBitmap, BitmapSize(d, k)},
+		{FormatDense, DenseSize(d)},
+		{FormatPairs64, Pairs64Size(d, k)},
+	}
+	best, size := Format(-1), 0
+	for _, c := range candidates {
+		if !atLeastAsPrecise(c.f, value) {
+			continue
+		}
+		if best < 0 || c.s < size {
+			best, size = c.f, c.s
+		}
 	}
 	return best, size
 }
@@ -80,14 +202,21 @@ func EncodeTo(dst []byte, s *tensor.Sparse, f Format) ([]byte, error) {
 		return appendDeltaVarint(dst, s), nil
 	case FormatPairs64:
 		return appendPairs64(dst, s), nil
+	case FormatPairsF16:
+		return appendPairsF16(dst, s), nil
+	case FormatPairsBF16:
+		return appendPairsBF16(dst, s), nil
+	case FormatPairsI8:
+		return appendPairsI8(dst, s), nil
 	default:
 		return nil, fmt.Errorf("encoding: unknown format %d", f)
 	}
 }
 
-// EncodeBest serialises s in whichever format is smallest.
+// EncodeBest serialises s in whichever float32-precision format is
+// smallest.
 func EncodeBest(s *tensor.Sparse) ([]byte, error) {
-	f, _ := BestFormat(s.Dim, s.NNZ())
+	f, _ := BestFormat(s.Dim, s.NNZ(), FormatPairs)
 	return Encode(s, f)
 }
 
@@ -192,6 +321,12 @@ func DecodeInto(s *tensor.Sparse, buf []byte) error {
 		return decodeDeltaVarint(s, buf, dim, nnz)
 	case FormatPairs64:
 		return decodePairs64(s, buf, dim, nnz)
+	case FormatPairsF16:
+		return decodePairsF16(s, buf, dim, nnz)
+	case FormatPairsBF16:
+		return decodePairsBF16(s, buf, dim, nnz)
+	case FormatPairsI8:
+		return decodePairsI8(s, buf, dim, nnz)
 	default:
 		return fmt.Errorf("encoding: unknown format byte %d", buf[0])
 	}

@@ -82,17 +82,17 @@ func TestEncodedSizesMatchAccounting(t *testing.T) {
 func TestBestFormatCrossovers(t *testing.T) {
 	// Aggressive sparsity: pairs wins. Moderate: bitmap. Dense: dense.
 	d := 100000
-	if f, _ := BestFormat(d, d/1000); f != FormatPairs {
+	if f, _ := BestFormat(d, d/1000, FormatPairs); f != FormatPairs {
 		t.Errorf("0.1%% density: got format %d", f)
 	}
-	if f, _ := BestFormat(d, d/4); f != FormatBitmap {
+	if f, _ := BestFormat(d, d/4, FormatPairs); f != FormatBitmap {
 		t.Errorf("25%% density: got format %d", f)
 	}
-	if f, _ := BestFormat(d, d); f != FormatDense {
+	if f, _ := BestFormat(d, d, FormatPairs); f != FormatDense {
 		t.Errorf("100%% density: got format %d", f)
 	}
 	// BestFormat size must be the min of the three.
-	_, size := BestFormat(d, d/10)
+	_, size := BestFormat(d, d/10, FormatPairs)
 	min := PairsSize(d, d/10)
 	if s := BitmapSize(d, d/10); s < min {
 		min = s

@@ -81,6 +81,7 @@ func TestEncodeToDecodeIntoSteadyStateAllocs(t *testing.T) {
 	formats := []encoding.Format{
 		encoding.FormatPairs, encoding.FormatBitmap, encoding.FormatDense,
 		encoding.FormatDeltaVarint, encoding.FormatPairs64,
+		encoding.FormatPairsF16, encoding.FormatPairsBF16, encoding.FormatPairsI8,
 	}
 	for _, f := range formats {
 		var buf []byte

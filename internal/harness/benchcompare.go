@@ -6,23 +6,43 @@ import (
 	"os"
 )
 
-// LoadBenchReport reads a committed sidco-bench JSON record (the
-// BENCH_pipeline.json baseline) and rejects schema mismatches up front
-// so a compare never silently diffs incompatible field meanings.
-func LoadBenchReport(path string) (*BenchReport, error) {
+// LoadBenchHistory reads a committed sidco-bench JSON baseline (the
+// BENCH_pipeline.json trajectory) and rejects unknown schemas up front
+// so a compare never silently diffs incompatible field meanings. v2
+// files load as-is; a v1 single-report baseline is wrapped as a
+// one-entry history at parallelism 1.
+func LoadBenchHistory(path string) (*BenchHistory, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("harness: load baseline: %w", err)
 	}
-	var rep BenchReport
-	if err := json.Unmarshal(data, &rep); err != nil {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("harness: load baseline %s: %w", path, err)
 	}
-	if rep.Schema != BenchSchema {
-		return nil, fmt.Errorf("harness: baseline %s has schema %q, this build speaks %q — regenerate the baseline",
-			path, rep.Schema, BenchSchema)
+	switch probe.Schema {
+	case BenchSchema:
+		var hist BenchHistory
+		if err := json.Unmarshal(data, &hist); err != nil {
+			return nil, fmt.Errorf("harness: load baseline %s: %w", path, err)
+		}
+		if len(hist.Entries) == 0 {
+			return nil, fmt.Errorf("harness: baseline %s has no entries", path)
+		}
+		return &hist, nil
+	case benchSchemaV1:
+		var rep BenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("harness: load baseline %s: %w", path, err)
+		}
+		rep.Parallelism = 1
+		return &BenchHistory{Schema: BenchSchema, Entries: []BenchReport{rep}}, nil
+	default:
+		return nil, fmt.Errorf("harness: baseline %s has schema %q, this build speaks %q (or legacy %q) — regenerate the baseline",
+			path, probe.Schema, BenchSchema, benchSchemaV1)
 	}
-	return &rep, nil
 }
 
 // CompareBenchReports checks the current record against a baseline and

@@ -53,28 +53,58 @@ func TestCompareBenchReports(t *testing.T) {
 	})
 }
 
-func TestLoadBenchReportRejectsSchemaMismatch(t *testing.T) {
+func TestLoadBenchHistorySchemas(t *testing.T) {
 	dir := t.TempDir()
-	good := filepath.Join(dir, "good.json")
-	if err := os.WriteFile(good, []byte(`{"schema":"`+BenchSchema+`","compressors":[{"name":"topk","mb_per_s":5}]}`), 0o644); err != nil {
+
+	// A v2 trajectory loads as-is.
+	v2 := filepath.Join(dir, "v2.json")
+	doc := `{"schema":"` + BenchSchema + `","entries":[` +
+		`{"schema":"` + BenchSchema + `","parallelism":1,"compressors":[{"name":"topk","mb_per_s":5}]},` +
+		`{"schema":"` + BenchSchema + `","parallelism":8,"compressors":[{"name":"topk","mb_per_s":9}]}]}`
+	if err := os.WriteFile(v2, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := LoadBenchReport(good)
+	hist, err := LoadBenchHistory(v2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Compressors) != 1 || rep.Compressors[0].MBPerSec != 5 {
-		t.Fatalf("loaded report mangled: %+v", rep)
+	if len(hist.Entries) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(hist.Entries))
+	}
+	for _, c := range []struct{ ask, wantP int }{{1, 1}, {8, 8}, {0, 1}, {6, 8}, {4, 1}, {100, 8}} {
+		e, err := hist.EntryFor(c.ask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Parallelism != c.wantP {
+			t.Errorf("EntryFor(%d) picked parallelism %d, want %d", c.ask, e.Parallelism, c.wantP)
+		}
+	}
+
+	// A v1 single report wraps into a one-entry P=1 history.
+	v1 := filepath.Join(dir, "v1.json")
+	if err := os.WriteFile(v1, []byte(`{"schema":"sidco-bench/v1","compressors":[{"name":"topk","mb_per_s":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = LoadBenchHistory(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Entries) != 1 || hist.Entries[0].Parallelism != 1 {
+		t.Fatalf("v1 baseline wrapped wrong: %+v", hist)
+	}
+	if hist.Entries[0].Compressors[0].MBPerSec != 5 {
+		t.Fatalf("v1 report mangled: %+v", hist.Entries[0])
 	}
 
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte(`{"schema":"sidco-bench/v0"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadBenchReport(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+	if _, err := LoadBenchHistory(bad); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Fatalf("want schema-mismatch error, got %v", err)
 	}
-	if _, err := LoadBenchReport(filepath.Join(dir, "absent.json")); err == nil {
+	if _, err := LoadBenchHistory(filepath.Join(dir, "absent.json")); err == nil {
 		t.Fatal("want error for missing file")
 	}
 }
@@ -82,7 +112,11 @@ func TestLoadBenchReportRejectsSchemaMismatch(t *testing.T) {
 func TestLoadCommittedBaseline(t *testing.T) {
 	// The committed baseline must stay loadable by the current build, or
 	// the CI compare gate dies on its first step.
-	rep, err := LoadBenchReport("../../BENCH_pipeline.json")
+	hist, err := LoadBenchHistory("../../BENCH_pipeline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hist.EntryFor(1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,14 +9,65 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compress"
 	"repro/internal/dist"
+	"repro/internal/encoding"
 	"repro/internal/netsim"
 	"repro/internal/simgrad"
+	"repro/internal/tensor"
 )
 
 // BenchSchema identifies the machine-readable bench record format. Bump
 // the version suffix when a field changes meaning; adding fields is
-// backward compatible and does not.
-const BenchSchema = "sidco-bench/v1"
+// backward compatible and does not. v2 wraps the report in a
+// BenchHistory trajectory and adds per-entry compression parallelism
+// plus per-format wire-size/throughput rows; v1 single-report baselines
+// are still read (LoadBenchHistory wraps them as one P=1 entry).
+const BenchSchema = "sidco-bench/v2"
+
+// benchSchemaV1 is the previous single-report schema, accepted on load.
+const benchSchemaV1 = "sidco-bench/v1"
+
+// BenchHistory is the committed trajectory: one entry per measurement
+// configuration (at minimum single-core plus the machine's parallel
+// setting), so BENCH_pipeline.json carries the perf history rather than
+// a single point.
+type BenchHistory struct {
+	Schema  string        `json:"schema"`
+	Entries []BenchReport `json:"entries"`
+}
+
+// EntryFor returns the entry measured at the given compression
+// parallelism, or — when no exact match exists — the entry with the
+// nearest parallelism (ties toward the lower setting). Entries without
+// a recorded parallelism (v1 baselines) count as 1.
+func (h *BenchHistory) EntryFor(parallelism int) (*BenchReport, error) {
+	if len(h.Entries) == 0 {
+		return nil, fmt.Errorf("harness: bench history has no entries")
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	norm := func(p int) int {
+		if p < 1 {
+			return 1
+		}
+		return p
+	}
+	best := 0
+	for i := 1; i < len(h.Entries); i++ {
+		bd := norm(h.Entries[best].Parallelism) - parallelism
+		id := norm(h.Entries[i].Parallelism) - parallelism
+		if bd < 0 {
+			bd = -bd
+		}
+		if id < 0 {
+			id = -id
+		}
+		if id < bd || (id == bd && norm(h.Entries[i].Parallelism) < norm(h.Entries[best].Parallelism)) {
+			best = i
+		}
+	}
+	return &h.Entries[best], nil
+}
 
 // BenchReport is the machine-readable perf baseline emitted by
 // `sidco-micro -json` and committed as BENCH_pipeline.json: real Go
@@ -31,8 +82,24 @@ type BenchReport struct {
 	GoVersion   string            `json:"go_version"`
 	GOOS        string            `json:"goos"`
 	GOARCH      string            `json:"goarch"`
+	Parallelism int               `json:"parallelism"`
 	Compressors []CompressorBench `json:"compressors"`
 	Collectives []CollectiveBench `json:"collectives"`
+	Formats     []FormatBench     `json:"formats,omitempty"`
+}
+
+// FormatBench is one wire format's measured encode/decode throughput and
+// exact size on a top-k selection: Bytes is the full encoded payload,
+// BytesPerValue the per-element wire cost (header amortized in), and the
+// MB/s columns move encoded payload bytes per wall second.
+type FormatBench struct {
+	Format         string  `json:"format"`
+	Dim            int     `json:"dim"`
+	NNZ            int     `json:"nnz"`
+	Bytes          int     `json:"bytes"`
+	BytesPerValue  float64 `json:"bytes_per_value"`
+	EncodeMBPerSec float64 `json:"encode_mb_per_s"`
+	DecodeMBPerSec float64 `json:"decode_mb_per_s"`
 }
 
 // CompressorBench is one compressor's wall-clock measurement: mean
@@ -89,6 +156,9 @@ type BenchOptions struct {
 	CollectiveIters int
 	// Seed fixes the synthetic gradient streams.
 	Seed int64
+	// Parallelism is the compression fan-out applied to every
+	// compressor bench (compress.SetParallelism; default 1).
+	Parallelism int
 }
 
 func (o BenchOptions) withDefaults() BenchOptions {
@@ -113,6 +183,9 @@ func (o BenchOptions) withDefaults() BenchOptions {
 	if o.CollectiveIters <= 0 {
 		o.CollectiveIters = 3
 	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
 	return o
 }
 
@@ -133,13 +206,13 @@ var benchCollectives = []struct {
 func BenchRecord(opt BenchOptions) (*BenchReport, error) {
 	opt = opt.withDefaults()
 	rep := &BenchReport{
-		Schema:    BenchSchema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Schema:      BenchSchema,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Parallelism: opt.Parallelism,
 	}
-	names := []string{"topk", "dgc", "redsync", "gaussiank", "sidco-e", "sidco-gp", "sidco-p"}
-	for _, name := range names {
+	for _, name := range CompressorNames {
 		cb, err := compressorBench(name, opt)
 		if err != nil {
 			return nil, err
@@ -153,13 +226,106 @@ func BenchRecord(opt BenchOptions) (*BenchReport, error) {
 		}
 		rep.Collectives = append(rep.Collectives, cb)
 	}
+	fbs, err := formatBenches(opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Formats = fbs
 	return rep, nil
+}
+
+// BenchHistoryRecord measures the standard trajectory: one single-core
+// entry plus, when opt.Parallelism > 1, one entry at that fan-out.
+func BenchHistoryRecord(opt BenchOptions) (*BenchHistory, error) {
+	opt = opt.withDefaults()
+	hist := &BenchHistory{Schema: BenchSchema}
+	serial := opt
+	serial.Parallelism = 1
+	rep, err := BenchRecord(serial)
+	if err != nil {
+		return nil, err
+	}
+	hist.Entries = append(hist.Entries, *rep)
+	if opt.Parallelism > 1 {
+		rep, err := BenchRecord(opt)
+		if err != nil {
+			return nil, err
+		}
+		hist.Entries = append(hist.Entries, *rep)
+	}
+	return hist, nil
+}
+
+// benchFormats is the fixed list of wire formats recorded per entry:
+// every data-independent format, lossless through the 8x-narrower int8.
+var benchFormats = []encoding.Format{
+	encoding.FormatPairs64, encoding.FormatPairs, encoding.FormatBitmap,
+	encoding.FormatDense, encoding.FormatPairsF16, encoding.FormatPairsBF16,
+	encoding.FormatPairsI8,
+}
+
+// formatBenches measures wire encode/decode throughput and exact sizes
+// over a top-k selection of the collective-bench gradient.
+func formatBenches(opt BenchOptions) ([]FormatBench, error) {
+	gen := simgrad.New(simgrad.Config{
+		Dim: opt.CollectiveDim, Family: simgrad.FamilyDoubleGamma, Shape: 0.6, Scale: 0.01, Seed: opt.Seed,
+	})
+	dense := make([]float64, opt.CollectiveDim)
+	gen.Fill(dense)
+	comp, err := NewCompressor("topk", opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := comp.Compress(dense, opt.CollectiveDelta)
+	if err != nil {
+		return nil, err
+	}
+	var out []FormatBench
+	var buf []byte
+	var dec tensor.Sparse
+	for _, f := range benchFormats {
+		wantSize, err := encoding.Size(f, sp.Dim, sp.NNZ())
+		if err != nil {
+			return nil, err
+		}
+		var benchErr error
+		encMean := timeIt(opt.Iters, func() {
+			buf, benchErr = encoding.EncodeTo(buf[:0], sp, f)
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("harness: format bench %v: %w", f, benchErr)
+		}
+		if len(buf) != wantSize {
+			return nil, fmt.Errorf("harness: format %v encoded %d bytes, Size says %d", f, len(buf), wantSize)
+		}
+		decMean := timeIt(opt.Iters, func() {
+			benchErr = encoding.DecodeInto(&dec, buf)
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("harness: format bench %v decode: %w", f, benchErr)
+		}
+		fb := FormatBench{
+			Format: f.String(), Dim: sp.Dim, NNZ: sp.NNZ(), Bytes: len(buf),
+			BytesPerValue: float64(len(buf)) / float64(sp.NNZ()),
+		}
+		if encMean > 0 {
+			fb.EncodeMBPerSec = float64(len(buf)) / encMean / 1e6
+		}
+		if decMean > 0 {
+			fb.DecodeMBPerSec = float64(len(buf)) / decMean / 1e6
+		}
+		out = append(out, fb)
+	}
+	return out, nil
 }
 
 func compressorBench(name string, opt BenchOptions) (CompressorBench, error) {
 	comp, err := NewCompressor(name, opt.Seed)
 	if err != nil {
 		return CompressorBench{}, err
+	}
+	if opt.Parallelism > 1 {
+		compress.SetParallelism(comp, opt.Parallelism)
 	}
 	gen := simgrad.New(simgrad.Config{
 		Dim: opt.Dim, Family: simgrad.FamilyDoubleGamma, Shape: 0.6, Scale: 0.01, Seed: opt.Seed,
@@ -262,15 +428,15 @@ func collectiveBench(c netsim.Collective, chunks int, opt BenchOptions) (Collect
 	}, nil
 }
 
-// WriteBenchJSON runs BenchRecord and writes the indented JSON report,
-// trailing newline included — the exact bytes committed as
+// WriteBenchJSON runs BenchHistoryRecord and writes the indented JSON
+// trajectory, trailing newline included — the exact bytes committed as
 // BENCH_pipeline.json.
 func WriteBenchJSON(w io.Writer, opt BenchOptions) error {
-	rep, err := BenchRecord(opt)
+	hist, err := BenchHistoryRecord(opt)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(hist)
 }

@@ -49,6 +49,47 @@ func TestBenchRecordTrafficMatchesFormulas(t *testing.T) {
 			t.Errorf("%s: khat/k = %g, want > 0", cb.Name, cb.KHatOverK)
 		}
 	}
+	if len(rep.Formats) != len(benchFormats) {
+		t.Fatalf("got %d format entries, want %d", len(rep.Formats), len(benchFormats))
+	}
+	for _, fb := range rep.Formats {
+		if fb.Bytes <= 0 || fb.BytesPerValue <= 0 {
+			t.Errorf("format %s: empty sizing (%d bytes, %g per value)", fb.Format, fb.Bytes, fb.BytesPerValue)
+		}
+		if fb.EncodeMBPerSec <= 0 || fb.DecodeMBPerSec <= 0 {
+			t.Errorf("format %s: non-positive throughput", fb.Format)
+		}
+	}
+}
+
+// TestBenchHistoryRecordEntries pins the trajectory shape: a P=1 entry
+// always, plus the parallel entry when requested — with bit-identically
+// deterministic traffic counts between the two (parallelism must not
+// change what goes on the wire).
+func TestBenchHistoryRecordEntries(t *testing.T) {
+	opt := small
+	opt.Parallelism = 4
+	hist, err := BenchHistoryRecord(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", hist.Schema, BenchSchema)
+	}
+	if len(hist.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(hist.Entries))
+	}
+	if hist.Entries[0].Parallelism != 1 || hist.Entries[1].Parallelism != 4 {
+		t.Fatalf("entry parallelisms = %d, %d; want 1, 4",
+			hist.Entries[0].Parallelism, hist.Entries[1].Parallelism)
+	}
+	for i := range hist.Entries[0].Collectives {
+		a, b := hist.Entries[0].Collectives[i], hist.Entries[1].Collectives[i]
+		if a.Messages != b.Messages || a.Bytes != b.Bytes {
+			t.Errorf("%s chunks=%d: traffic differs across parallelism (%d/%d msgs, %d/%d bytes)",
+				a.Collective, a.Chunks, a.Messages, b.Messages, a.Bytes, b.Bytes)
+		}
+	}
 }
 
 // TestWriteBenchJSONRoundTrips asserts the emitted bytes are a valid
@@ -59,13 +100,17 @@ func TestWriteBenchJSONRoundTrips(t *testing.T) {
 	if err := WriteBenchJSON(&buf, small); err != nil {
 		t.Fatal(err)
 	}
-	var rep BenchReport
-	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+	var hist BenchHistory
+	if err := json.Unmarshal(buf.Bytes(), &hist); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	if rep.Schema != BenchSchema {
-		t.Fatalf("schema = %q, want %q", rep.Schema, BenchSchema)
+	if hist.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", hist.Schema, BenchSchema)
 	}
+	if len(hist.Entries) == 0 {
+		t.Fatal("emitted history has no entries")
+	}
+	rep := hist.Entries[0]
 	if len(rep.Compressors) == 0 || len(rep.Collectives) == 0 {
 		t.Fatalf("empty report: %d compressors, %d collectives", len(rep.Compressors), len(rep.Collectives))
 	}

@@ -188,7 +188,7 @@ func measureChunks(cfg ChunkStudyConfig, ins []dist.ExchangeInput, scen *cluster
 	// N-1 times.
 	for _, in := range ins {
 		for _, nnz := range cluster.ChunkNNZ(in.Sparse.Idx, cfg.Dim, chunks) {
-			run.wantBytes += (cfg.Workers - 1) * encoding.Pairs64Size(cfg.Dim, nnz)
+			run.wantBytes += netsim.AllGatherTrafficBytes(cfg.Workers, encoding.Pairs64Size(cfg.Dim, nnz))
 		}
 	}
 	return run, nil

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+// heavyTailedGrad builds a gradient with the pathologies that stress the
+// parallel merge paths: exact magnitude ties straddling worker
+// boundaries, zeros, and a lognormal heavy tail.
+func heavyTailedGrad(d int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	g := make([]float64, d)
+	for i := range g {
+		switch rng.Intn(10) {
+		case 0:
+			g[i] = 0
+		case 1, 2:
+			if rng.Intn(2) == 0 {
+				g[i] = 0.5
+			} else {
+				g[i] = -0.5
+			}
+		default:
+			v := math.Exp(rng.NormFloat64() * 2)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			g[i] = v
+		}
+	}
+	return g
+}
+
+func sparseEqual(t *testing.T, name string, step int, a, b *tensor.Sparse) {
+	t.Helper()
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("%s step %d: nnz %d (serial) != %d (parallel)", name, step, a.NNZ(), b.NNZ())
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] {
+			t.Fatalf("%s step %d: idx[%d] %d != %d", name, step, i, a.Idx[i], b.Idx[i])
+		}
+		if math.Float64bits(a.Vals[i]) != math.Float64bits(b.Vals[i]) {
+			t.Fatalf("%s step %d: val[%d] %x != %x", name, step, i, a.Vals[i], b.Vals[i])
+		}
+	}
+}
+
+// TestRegistryParallelBitIdentity runs every registry compressor (plain
+// and EC-wrapped) over a multi-step stream at P=1 and P=8 and requires
+// bitwise-identical selections at every step. Under -race this also
+// exercises the goroutine fan-out for data races.
+func TestRegistryParallelBitIdentity(t *testing.T) {
+	const d = 1<<16 + 917
+	const steps = 4
+	const delta = 0.01
+
+	grads := make([][]float64, steps)
+	for s := range grads {
+		grads[s] = heavyTailedGrad(d, int64(100+s))
+	}
+
+	for _, name := range CompressorNames {
+		for _, ec := range []bool{false, true} {
+			label := name
+			serial := MustCompressor(name, 42)
+			parallel := MustCompressor(name, 42)
+			var sc, pc compress.Compressor = serial, parallel
+			if ec {
+				label += "+ec"
+				sc = compress.NewErrorFeedback(serial)
+				pc = compress.NewErrorFeedback(parallel)
+			}
+			if !compress.SetParallelism(pc, 8) {
+				t.Fatalf("%s: compressor does not accept a parallelism knob", label)
+			}
+			// Setting P=1 explicitly must also be accepted and harmless.
+			if !compress.SetParallelism(sc, 1) {
+				t.Fatalf("%s: P=1 rejected", label)
+			}
+			var ds, dp tensor.Sparse
+			for s := 0; s < steps; s++ {
+				if err := sc.CompressInto(&ds, grads[s], delta); err != nil {
+					t.Fatalf("%s step %d serial: %v", label, s, err)
+				}
+				if err := pc.CompressInto(&dp, grads[s], delta); err != nil {
+					t.Fatalf("%s step %d parallel: %v", label, s, err)
+				}
+				sparseEqual(t, label, s, &ds, &dp)
+			}
+		}
+	}
+}
+
+// TestErrorFeedbackWireFormat checks the quantized-wire EC contract: the
+// emitted values are exactly what a decoder of the configured format
+// reconstructs, and the quantization error joins the residual instead of
+// being lost.
+func TestErrorFeedbackWireFormat(t *testing.T) {
+	const d = 4096
+	const delta = 0.05
+	g := heavyTailedGrad(d, 7)
+
+	for _, f := range []encoding.Format{
+		encoding.FormatPairs, encoding.FormatPairsF16,
+		encoding.FormatPairsBF16, encoding.FormatPairsI8,
+	} {
+		ec := compress.NewErrorFeedback(compress.NewTopK())
+		ec.SetWireFormat(f)
+		var dst tensor.Sparse
+		if err := ec.CompressInto(&dst, g, delta); err != nil {
+			t.Fatalf("format %d: %v", f, err)
+		}
+
+		// Emitted values must be fixed points of the wire round-trip.
+		rt := append([]float64(nil), dst.Vals...)
+		if err := encoding.RoundTripValues(f, rt); err != nil {
+			t.Fatalf("format %d round-trip: %v", f, err)
+		}
+		for i := range rt {
+			if math.Float64bits(rt[i]) != math.Float64bits(dst.Vals[i]) {
+				t.Fatalf("format %d: val[%d] %v not wire-exact (decodes to %v)", f, i, dst.Vals[i], rt[i])
+			}
+		}
+
+		// residual[j] must equal g[j] - emitted[j] on selected coordinates
+		// (first step: residual starts at zero), i.e. the quantization
+		// error is absorbed, not discarded.
+		res := ec.Residual()
+		for i, j := range dst.Idx {
+			want := g[j] - dst.Vals[i]
+			if math.Float64bits(res[j]) != math.Float64bits(want) {
+				t.Fatalf("format %d: residual[%d] = %v, want %v", f, j, res[j], want)
+			}
+		}
+	}
+
+	// ClearWireFormat restores plain EC: emitted values are the corrected
+	// gradient values untouched.
+	ec := compress.NewErrorFeedback(compress.NewTopK())
+	ec.SetWireFormat(encoding.FormatPairsI8)
+	ec.ClearWireFormat()
+	var dst tensor.Sparse
+	if err := ec.CompressInto(&dst, g, delta); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range dst.Idx {
+		if math.Float64bits(dst.Vals[i]) != math.Float64bits(g[j]) {
+			t.Fatalf("cleared wire format still rounds: val[%d]=%v want %v", i, dst.Vals[i], g[j])
+		}
+	}
+}

@@ -256,3 +256,42 @@ func PSMessages(n int) int {
 	}
 	return 2 * n
 }
+
+// Byte closed forms of the three collectives. Like the message counts
+// these are exact integer identities, not estimates: the instrumented
+// transport's byte counters must land on them to the byte, for any wire
+// format, because the formulas take the actual encoded payload sizes as
+// inputs (encoding.Size supplies them for the data-independent formats).
+
+// AllGatherTrafficBytes returns the bytes the ring all-gather moves to
+// distribute ONE worker's encoded payload to the n-1 others: the payload
+// is forwarded once per step. Sum it over every worker's (per-chunk)
+// payload for the cluster total; divide that by n for the per-node send
+// total only when payloads are uniform.
+func AllGatherTrafficBytes(n, payloadBytes int) int {
+	if n <= 1 {
+		return 0
+	}
+	return (n - 1) * payloadBytes
+}
+
+// RingTrafficBytes returns the total bytes all n nodes send in one ring
+// all-reduce over a dense buffer of denseBytes: each of the 2(n-1) steps
+// moves every node's chunk, and the chunks partition the buffer, so each
+// step moves exactly denseBytes across the cluster — regardless of how
+// unevenly the d/n chunking rounds.
+func RingTrafficBytes(n, denseBytes int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * (n - 1) * denseBytes
+}
+
+// PSTrafficBytes returns the total bytes of a parameter-server exchange
+// with n workers: every worker pushes pushBytes and pulls pullBytes.
+func PSTrafficBytes(n, pushBytes, pullBytes int) int {
+	if n < 1 {
+		return 0
+	}
+	return n * (pushBytes + pullBytes)
+}

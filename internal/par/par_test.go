@@ -1,0 +1,49 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRangeBoundsPartition checks the fan-out ranges tile [0, d) exactly
+// — no gap, no overlap — for awkward sizes and worker counts, including
+// p > d (trailing workers get empty ranges).
+func TestRangeBoundsPartition(t *testing.T) {
+	for _, d := range []int{0, 1, 2, 7, 64, 1021, 1 << 16} {
+		for _, p := range []int{1, 2, 3, 8, 13} {
+			next := 0
+			for w := 0; w < p; w++ {
+				lo, hi := RangeBounds(d, p, w)
+				if lo != next {
+					t.Fatalf("d=%d p=%d w=%d: lo=%d, want %d (gap or overlap)", d, p, w, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("d=%d p=%d w=%d: hi=%d < lo=%d", d, p, w, hi, lo)
+				}
+				next = hi
+			}
+			if next != d {
+				t.Fatalf("d=%d p=%d: ranges end at %d, want %d", d, p, next, d)
+			}
+		}
+	}
+}
+
+// TestDoRunsEveryWorker checks Do invokes fn exactly once per worker
+// index 0..p-1 and returns only after all of them finished.
+func TestDoRunsEveryWorker(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		var ran [8]atomic.Int32
+		Do(p, func(w int) { ran[w].Add(1) })
+		for w := 0; w < p; w++ {
+			if got := ran[w].Load(); got != 1 {
+				t.Errorf("p=%d: worker %d ran %d times, want 1", p, w, got)
+			}
+		}
+		for w := p; w < len(ran); w++ {
+			if got := ran[w].Load(); got != 0 {
+				t.Errorf("p=%d: worker %d ran %d times, want 0", p, w, got)
+			}
+		}
+	}
+}

@@ -5,16 +5,37 @@ import (
 	"sort"
 )
 
+// sumBlock is the fixed accumulation granularity of every mean/variance
+// reduction in this package: partial sums are computed per 4096-element
+// block and combined in block order. The block structure is independent
+// of how many workers compute the partials, which is what makes the Par
+// variants bit-identical to the serial functions at any parallelism.
+const sumBlock = 4096
+
+// blockSum sums xs by fixed blocks: one partial per sumBlock elements,
+// combined in block order.
+func blockSum(xs []float64) float64 {
+	total := 0.0
+	for lo := 0; lo < len(xs); lo += sumBlock {
+		hi := lo + sumBlock
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		s := 0.0
+		for _, x := range xs[lo:hi] {
+			s += x
+		}
+		total += s
+	}
+	return total
+}
+
 // Mean returns the arithmetic mean of xs, or NaN for empty input.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
+	return blockSum(xs) / float64(len(xs))
 }
 
 // Variance returns the population variance (divide by n) of xs, matching
@@ -25,12 +46,20 @@ func Variance(xs []float64) float64 {
 		return math.NaN()
 	}
 	m := Mean(xs)
-	sum := 0.0
-	for _, x := range xs {
-		d := x - m
-		sum += d * d
+	total := 0.0
+	for lo := 0; lo < len(xs); lo += sumBlock {
+		hi := lo + sumBlock
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		s := 0.0
+		for _, x := range xs[lo:hi] {
+			d := x - m
+			s += d * d
+		}
+		total += s
 	}
-	return sum / float64(len(xs))
+	return total / float64(len(xs))
 }
 
 // SampleVariance returns the unbiased sample variance (divide by n-1) of
@@ -58,11 +87,19 @@ func MeanAbs(xs []float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += math.Abs(x)
+	total := 0.0
+	for lo := 0; lo < len(xs); lo += sumBlock {
+		hi := lo + sumBlock
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		s := 0.0
+		for _, x := range xs[lo:hi] {
+			s += math.Abs(x)
+		}
+		total += s
 	}
-	return sum / float64(len(xs))
+	return total / float64(len(xs))
 }
 
 // MeanVarAbs returns the mean and population variance of |x| over xs in a
@@ -72,10 +109,19 @@ func MeanVarAbs(xs []float64) (mean, variance float64) {
 		return math.NaN(), math.NaN()
 	}
 	sum, sumSq := 0.0, 0.0
-	for _, x := range xs {
-		a := math.Abs(x)
-		sum += a
-		sumSq += a * a
+	for lo := 0; lo < len(xs); lo += sumBlock {
+		hi := lo + sumBlock
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		s, s2 := 0.0, 0.0
+		for _, x := range xs[lo:hi] {
+			a := math.Abs(x)
+			s += a
+			s2 += a * a
+		}
+		sum += s
+		sumSq += s2
 	}
 	n := float64(len(xs))
 	mean = sum / n
@@ -94,13 +140,22 @@ func MeanVarAbs(xs []float64) (mean, variance float64) {
 func MeanLogAbs(xs []float64) float64 {
 	sum := 0.0
 	n := 0
-	for _, x := range xs {
-		a := math.Abs(x)
-		if a == 0 {
-			continue
+	for lo := 0; lo < len(xs); lo += sumBlock {
+		hi := lo + sumBlock
+		if hi > len(xs) {
+			hi = len(xs)
 		}
-		sum += math.Log(a)
-		n++
+		s, c := 0.0, 0
+		for _, x := range xs[lo:hi] {
+			a := math.Abs(x)
+			if a == 0 {
+				continue
+			}
+			s += math.Log(a)
+			c++
+		}
+		sum += s
+		n += c
 	}
 	if n == 0 {
 		return math.NaN()

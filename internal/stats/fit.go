@@ -84,10 +84,19 @@ func FitGPExceedance(absXS []float64, loc float64) GPParams {
 		return GPParams{Shape: math.NaN(), Scale: math.NaN()}
 	}
 	sum, sumSq := 0.0, 0.0
-	for _, a := range absXS {
-		s := a - loc
-		sum += s
-		sumSq += s * s
+	for lo := 0; lo < len(absXS); lo += sumBlock {
+		hi := lo + sumBlock
+		if hi > len(absXS) {
+			hi = len(absXS)
+		}
+		bs, bs2 := 0.0, 0.0
+		for _, a := range absXS[lo:hi] {
+			s := a - loc
+			bs += s
+			bs2 += s * s
+		}
+		sum += bs
+		sumSq += bs2
 	}
 	n := float64(len(absXS))
 	mean := sum / n

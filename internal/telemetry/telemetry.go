@@ -196,8 +196,10 @@ type Event struct {
 	Step int64
 	// DurNanos is an EventSpan's monotonic duration.
 	DurNanos int64
-	// Value is an EventCounter's delta, or an EventVirtual message's
-	// payload bytes.
+	// Value is an EventCounter's delta, an EventVirtual message's
+	// payload bytes, or an EventSpan's kind-specific tag
+	// (Span.WithValue; SpanEncode spans carry the wire encoding
+	// format code).
 	Value int64
 	// Seq is the per-directed-link monotone sequence number of message
 	// events (counters emitted through CountSeq and virtual send/recv
@@ -258,10 +260,20 @@ type Span struct {
 	t     *Tracer
 	start int64
 	step  int64
+	value int64
 	kind  SpanKind
 	node  int32
 	peer  int32
 	chunk int32
+}
+
+// WithValue attaches a span-kind-specific tag carried in the emitted
+// Event's Value field: SpanEncode spans tag the wire encoding format
+// code, so traces attribute encode time per format. Chainable on the
+// Begin result and free on the zero Span (the value is simply dropped).
+func (s Span) WithValue(v int64) Span {
+	s.value = v
+	return s
 }
 
 // Begin starts a span of the given kind. node, peer and chunk may be -1
@@ -297,6 +309,7 @@ func (s Span) End() {
 		Chunk:     s.chunk,
 		Step:      s.step,
 		DurNanos:  end - s.start,
+		Value:     s.value,
 		Seq:       -1,
 	})
 }
