@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/harness"
 )
@@ -67,6 +68,15 @@ func main() {
 			run("bench", func() error {
 				return harness.WriteBenchJSON(w, harness.BenchOptions{Seed: *seed, Parallelism: *parallel})
 			})
+			return
+		}
+		if *parallel > runtime.NumCPU() {
+			// A fan-out the machine cannot actually run in parallel measures
+			// scheduler timesharing, not compressor throughput — on a
+			// smaller runner than the baseline machine the gate would fail
+			// on noise. Skip loudly rather than gate on garbage.
+			fmt.Fprintf(w, "bench compare: skipped — parallelism %d exceeds this machine's %d CPUs; baseline entry not comparable here\n",
+				*parallel, runtime.NumCPU())
 			return
 		}
 		history, err := harness.LoadBenchHistory(*compare)

@@ -43,6 +43,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,7 +53,9 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -84,7 +87,19 @@ type options struct {
 	telemetryPath string
 	dialTimeout   time.Duration
 	launchTimeout time.Duration
+	stepTimeout   time.Duration
+	stepRetries   int
+	killAtStep    int
+	killRank      string
+	ckpt          string
+	ckptEvery     int
+	resume        string
 }
+
+// killExitCode is the exit status of a process that self-killed on its
+// -kill-at-step schedule: the launcher distinguishes the planned death
+// of the fault-injection target from a genuine child failure by it.
+const killExitCode = 3
 
 func main() {
 	var opt options
@@ -105,6 +120,13 @@ func main() {
 	flag.StringVar(&opt.telemetryPath, "telemetry", "", "stream telemetry events as JSONL to this file (per-rank suffix under -launch)")
 	flag.DurationVar(&opt.dialTimeout, "dial-timeout", 10*time.Second, "per-link lazy-dial retry budget (peers may start later)")
 	flag.DurationVar(&opt.launchTimeout, "launch-timeout", 2*time.Minute, "watchdog for -launch: kill the deployment and fail if it has not finished by then")
+	flag.DurationVar(&opt.stepTimeout, "step-timeout", 0, "per-collective-step receive budget; 0 blocks forever. Fault-tolerant runs need it to detect dead peers")
+	flag.IntVar(&opt.stepRetries, "step-retries", 0, "elastic recovery: retry a failed step this many times over the renegotiated survivor group (needs -step-timeout > 0)")
+	flag.IntVar(&opt.killAtStep, "kill-at-step", -1, fmt.Sprintf("fault injection: exit with code %d immediately before this step's exchange", killExitCode))
+	flag.StringVar(&opt.killRank, "kill-rank", "", "launch mode, R@K: forward -kill-at-step K to rank R and gate on the survivors finishing with identical final losses")
+	flag.StringVar(&opt.ckpt, "ckpt", "", "write this rank's resume state to PREFIX.rankR (atomic replace) every -ckpt-every steps and after the final step")
+	flag.IntVar(&opt.ckptEvery, "ckpt-every", 1, "checkpoint cadence in steps for -ckpt")
+	flag.StringVar(&opt.resume, "resume", "", "resume from PREFIX.rankR written by -ckpt; -iters stays the TOTAL step count, the process runs the remaining steps. Bit-identical resume needs a compressor whose only cross-step state is the EC residual (topk, threshold, none)")
 	flag.Parse()
 
 	var err error
@@ -294,6 +316,9 @@ func runNode(opt options) error {
 	if opt.iters < 1 {
 		return fmt.Errorf("-iters %d, need >= 1", opt.iters)
 	}
+	if opt.ckptEvery < 1 {
+		return fmt.Errorf("-ckpt-every %d, need >= 1", opt.ckptEvery)
+	}
 	coll, err := parseCollective(opt.collective)
 	if err != nil {
 		return err
@@ -332,31 +357,74 @@ func runNode(opt options) error {
 	}
 	defer tp.Close()
 	nd, err := cluster.NewNode(cluster.NodeConfig{
-		Workers:     workers,
-		Rank:        opt.node,
-		Collective:  coll,
-		Format:      wire,
-		Chunks:      opt.chunks,
-		Parallelism: opt.parallel,
-		Transport:   tp,
-		Telemetry:   nt.tracer,
+		Workers:        workers,
+		Rank:           opt.node,
+		Collective:     coll,
+		Format:         wire,
+		Chunks:         opt.chunks,
+		Parallelism:    opt.parallel,
+		Transport:      tp,
+		Telemetry:      nt.tracer,
+		StepTimeout:    opt.stepTimeout,
+		MaxStepRetries: opt.stepRetries,
 	})
 	if err != nil {
 		return err
 	}
 	if opt.node == workers { // parameter-server rank
-		if err := nd.Serve(opt.iters); err != nil {
+		rounds := opt.iters
+		if opt.resume != "" {
+			// The server is stateless; it only needs the round offset, which
+			// it reads off worker 0's checkpoint (same filesystem under
+			// -launch; multi-host operators adjust -iters instead).
+			ck, err := dist.LoadCheckpoint(fmt.Sprintf("%s.rank0", opt.resume))
+			if err != nil {
+				return fmt.Errorf("-resume on the server rank reads rank 0's checkpoint for the round offset: %w", err)
+			}
+			rounds -= ck.Step
+			if rounds < 1 {
+				return fmt.Errorf("-resume: checkpoint already at step %d, -iters %d (total) leaves nothing to serve", ck.Step, opt.iters)
+			}
+		}
+		if err := nd.Serve(rounds); err != nil {
 			return err
 		}
-		fmt.Printf("node %d (server): served %d rounds\n", opt.node, opt.iters)
+		fmt.Printf("node %d (server): served %d rounds\n", opt.node, rounds)
 		return nil
 	}
 	tr, err := trainerFor(opt, 1, opt.node, nd, nt.tracer)
 	if err != nil {
 		return err
 	}
-	losses := make([]float64, 0, opt.iters)
-	for it := 0; it < opt.iters; it++ {
+	ckptPath := ""
+	if opt.ckpt != "" {
+		ckptPath = fmt.Sprintf("%s.rank%d", opt.ckpt, opt.node)
+	}
+	start := 0
+	if opt.resume != "" {
+		ck, err := dist.LoadCheckpoint(fmt.Sprintf("%s.rank%d", opt.resume, opt.node))
+		if err != nil {
+			return fmt.Errorf("-resume: %w", err)
+		}
+		if ck.Step >= opt.iters {
+			return fmt.Errorf("-resume: checkpoint already at step %d, -iters %d (total) leaves nothing to run", ck.Step, opt.iters)
+		}
+		if err := tr.Restore(ck); err != nil {
+			return err
+		}
+		start = ck.Step
+		fmt.Printf("node %d: resumed at step %d\n", opt.node, start)
+	}
+	losses := make([]float64, 0, opt.iters-start)
+	for it := start; it < opt.iters; it++ {
+		if opt.killAtStep >= 0 && it == opt.killAtStep {
+			// Die at the START of step it: step it-1 fully completed, nothing
+			// of step it sent yet — the deterministic point the fault-injection
+			// schedule and the elastic-recovery tests are defined against.
+			fmt.Printf("node %d: fault injection — dying before step %d\n", opt.node, it)
+			nt.close()
+			os.Exit(killExitCode)
+		}
 		local, err := tr.Step()
 		if err != nil {
 			return err
@@ -366,13 +434,22 @@ func runNode(opt options) error {
 			return err
 		}
 		losses = append(losses, global)
+		if ckptPath != "" && ((it+1)%opt.ckptEvery == 0 || it+1 == opt.iters) {
+			ck, err := tr.Checkpoint()
+			if err != nil {
+				return err
+			}
+			if err := dist.SaveCheckpoint(ckptPath, ck); err != nil {
+				return err
+			}
+		}
 	}
 	if opt.node == 0 {
 		printLosses(opt, coll, losses)
 	}
 	fmt.Printf("node %d: final global loss %.17g over %d iterations\n", opt.node, losses[len(losses)-1], opt.iters)
 	if opt.check {
-		return checkNodeRun(opt, coll, workers, nd, nt, losses)
+		return checkNodeRun(opt, coll, workers, nd, nt, losses, start)
 	}
 	return nil
 }
@@ -423,8 +500,11 @@ func wireValueExact(opt options, wire cluster.Wire) bool {
 // order-preserving collectives over a value-exact wire) and per-node
 // traffic matching the collective step formulas. With -metrics it
 // additionally scrapes this process's own HTTP endpoint and asserts
-// the exported counters agree.
-func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.Node, nt *nodeTelemetry, losses []float64) error {
+// the exported counters agree. Under -resume the reference runs the
+// full opt.iters from scratch and the comparison covers the resumed
+// tail — a bitwise pass proves checkpoint-resume reproduced the
+// uninterrupted run exactly.
+func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.Node, nt *nodeTelemetry, losses []float64, start int) error {
 	ref, err := trainerFor(opt, workers, 0, nil, nil)
 	if err != nil {
 		return err
@@ -433,6 +513,7 @@ func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.
 	if err != nil {
 		return err
 	}
+	want = want[start:]
 	wire, err := cluster.ParseWire(opt.format)
 	if err != nil {
 		return err
@@ -459,14 +540,15 @@ func checkNodeRun(opt options, coll netsim.Collective, workers int, nd *cluster.
 			return fmt.Errorf("check: loss[%d] = %.17g, in-process trainer says %.17g (outside ring tolerance)", i, losses[i], want[i])
 		}
 	}
+	exchanges := opt.iters - start
 	var wantMsgs int
 	switch resolved {
 	case netsim.CollectiveAllGather:
-		wantMsgs = opt.iters * netsim.ChunkedAllGatherMessages(workers, opt.chunks)
+		wantMsgs = exchanges * netsim.ChunkedAllGatherMessages(workers, opt.chunks)
 	case netsim.CollectiveRing:
-		wantMsgs = opt.iters * netsim.RingMessages(workers)
+		wantMsgs = exchanges * netsim.RingMessages(workers)
 	case netsim.CollectivePS:
-		wantMsgs = opt.iters
+		wantMsgs = exchanges
 	}
 	if msgs, _ := nd.Transport().Totals(); msgs != wantMsgs {
 		return fmt.Errorf("check: sent %d gradient messages, formula says %d", msgs, wantMsgs)
@@ -580,6 +662,36 @@ func runLaunch(opt options) error {
 		return err
 	}
 	nodes := cluster.NodeCount(opt.launch, coll)
+	serverRank := -1
+	if resolveCollective(opt, coll) == netsim.CollectivePS {
+		serverRank = nodes - 1
+	}
+	killR, killStep, err := parseKillRank(opt.killRank)
+	if err != nil {
+		return err
+	}
+	if killR >= 0 {
+		if killR >= nodes {
+			return fmt.Errorf("-kill-rank %d outside the %d-node deployment", killR, nodes)
+		}
+		if killR == serverRank {
+			return fmt.Errorf("-kill-rank %d is the parameter server; losing it is unrecoverable by design — kill a worker rank", killR)
+		}
+		if killStep >= opt.iters {
+			return fmt.Errorf("-kill-rank step %d >= -iters %d: the target would never die", killStep, opt.iters)
+		}
+		// Fault injection needs failure detection and recovery budget;
+		// default both on so the quickstart gate works out of the box.
+		if opt.stepTimeout <= 0 {
+			opt.stepTimeout = 2 * time.Second
+		}
+		if opt.stepRetries == 0 {
+			opt.stepRetries = 2
+		}
+		if opt.check {
+			fmt.Printf("kill-rank: per-child bitwise -check is off (membership shrinks mid-run); gating on survivor agreement instead\n")
+		}
+	}
 	addrs, err := cluster.FreeLoopbackAddrs(nodes)
 	if err != nil {
 		return err
@@ -588,6 +700,12 @@ func runLaunch(opt options) error {
 	if err != nil {
 		return err
 	}
+	// Catch Ctrl-C / SIGTERM before spawning: an interrupted launcher must
+	// take its children with it instead of leaking orphan ranks that hold
+	// their loopback ports until the schedule deadlocks.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
 	fmt.Printf("launching %d processes over loopback (%s)\n", nodes, strings.Join(addrs, ", "))
 	type child struct {
 		rank int
@@ -610,8 +728,19 @@ func runLaunch(opt options) error {
 			"-format", opt.format,
 			"-parallel", fmt.Sprint(opt.parallel),
 			"-dial-timeout", opt.dialTimeout.String(),
+			"-step-timeout", opt.stepTimeout.String(),
+			"-step-retries", fmt.Sprint(opt.stepRetries),
 		}
-		if opt.check {
+		if rank == killR {
+			args = append(args, "-kill-at-step", fmt.Sprint(killStep))
+		}
+		if opt.ckpt != "" {
+			args = append(args, "-ckpt", opt.ckpt, "-ckpt-every", fmt.Sprint(opt.ckptEvery))
+		}
+		if opt.resume != "" {
+			args = append(args, "-resume", opt.resume)
+		}
+		if opt.check && killR < 0 {
 			args = append(args, "-check")
 		}
 		if opt.metrics != "" {
@@ -644,31 +773,49 @@ func runLaunch(opt options) error {
 			c.cmd.Process.Kill()
 		}
 	}
+	// expectedKill: the fault-injection target dying with its designated
+	// exit code is the plan, not a failure — the survivors keep running.
+	expectedKill := func(c *child) bool {
+		return c.rank == killR && exitStatus(c.err) == killExitCode
+	}
 	watchdog := time.After(opt.launchTimeout)
-	failed, timedOut := 0, false
+	failed, timedOut, interrupted := 0, false, false
 	for collected := 0; collected < nodes; {
 		select {
 		case c := <-exits:
 			collected++
-			if c.err != nil {
-				failed++
-				// One dead node stalls its peers mid-schedule; take the
-				// deployment down so every Wait returns promptly.
-				killAll()
+			if c.err == nil {
+				continue
 			}
+			if expectedKill(c) {
+				fmt.Printf("launch: rank %d died on schedule before step %d\n", killR, killStep)
+				continue
+			}
+			failed++
+			// One dead node stalls its peers mid-schedule; take the
+			// deployment down so every Wait returns promptly.
+			killAll()
 		case <-watchdog:
 			timedOut = true
 			killAll()
 			watchdog = nil // keep draining exits; children are dying now
+		case sig := <-sigc:
+			interrupted = true
+			fmt.Fprintf(os.Stderr, "launch: caught %v, killing %d children\n", sig, nodes)
+			killAll()
 		}
 	}
 	for _, c := range children {
-		if c.rank == 0 || c.err != nil {
+		genuineFail := c.err != nil && !expectedKill(c)
+		if c.rank == 0 || genuineFail {
 			os.Stdout.Write(c.out.Bytes())
 		}
-		if c.err != nil {
+		if genuineFail {
 			fmt.Fprintf(os.Stderr, "node %d exited with %v\n", c.rank, c.err)
 		}
+	}
+	if interrupted {
+		return fmt.Errorf("interrupted; deployment killed")
 	}
 	if timedOut {
 		return fmt.Errorf("deployment killed after %v watchdog", opt.launchTimeout)
@@ -676,12 +823,90 @@ func runLaunch(opt options) error {
 	if failed > 0 {
 		return fmt.Errorf("%d of %d processes failed", failed, nodes)
 	}
+	if killR >= 0 {
+		kc := children[killR]
+		if !expectedKill(kc) {
+			return fmt.Errorf("kill-rank: rank %d was scheduled to die before step %d but exited with %v", killR, killStep, kc.err)
+		}
+		if err := checkSurvivorAgreement(nodes, killR, serverRank, func(r int) []byte { return children[r].out.Bytes() }); err != nil {
+			return err
+		}
+		fmt.Printf("launch: rank %d killed at step %d, %d survivors finished cleanly\n", killR, killStep, nodes-1)
+		return nil
+	}
 	fmt.Printf("launch: all %d processes finished cleanly\n", nodes)
 	if opt.telemetryPath != "" && opt.check {
 		if err := checkLaunchTraces(opt, coll, nodes); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// parseKillRank decodes a -kill-rank R@K spec; empty means no fault
+// injection (rank -1).
+func parseKillRank(s string) (rank, step int, err error) {
+	if s == "" {
+		return -1, -1, nil
+	}
+	if _, serr := fmt.Sscanf(s, "%d@%d", &rank, &step); serr != nil || rank < 0 || step < 0 {
+		return -1, -1, fmt.Errorf("-kill-rank %q: want R@K with rank R and step K both >= 0", s)
+	}
+	return rank, step, nil
+}
+
+// exitStatus extracts a child's exit code, or -1 when it did not exit
+// normally (nil error, signal death, start failure).
+func exitStatus(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// finalLoss scans a child's output for its "final global loss" line.
+// %.17g printing round-trips float64 exactly, so the parsed value is
+// bit-identical to what the child computed.
+func finalLoss(out []byte) (float64, bool) {
+	for _, line := range strings.Split(string(out), "\n") {
+		i := strings.Index(line, "final global loss ")
+		if i < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i:], "final global loss %g", &v); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// checkSurvivorAgreement is the kill-mode gate: every surviving worker
+// rank must have printed a final global loss, and — because the
+// renegotiated group reduces in the same member order with the same
+// rescaled mean everywhere — those losses must agree bit for bit. A
+// survivor that silently diverged after the membership change fails the
+// launch here even though its process exited zero.
+func checkSurvivorAgreement(nodes, killR, serverRank int, output func(rank int) []byte) error {
+	ref, refRank := 0.0, -1
+	for r := 0; r < nodes; r++ {
+		if r == killR || r == serverRank {
+			continue
+		}
+		loss, ok := finalLoss(output(r))
+		if !ok {
+			return fmt.Errorf("kill-rank: survivor rank %d printed no final global loss", r)
+		}
+		if refRank < 0 {
+			ref, refRank = loss, r
+			continue
+		}
+		if math.Float64bits(loss) != math.Float64bits(ref) {
+			return fmt.Errorf("kill-rank: survivor rank %d finished at loss %.17g, rank %d at %.17g — survivors diverged", r, loss, refRank, ref)
+		}
+	}
+	fmt.Printf("kill-rank check passed: survivors agree on final global loss %.17g\n", ref)
 	return nil
 }
 

@@ -55,47 +55,7 @@ func RingAllReduce(tp Transport, node, n int, data []float64) error {
 	if err := checkNode(tp, node, n); err != nil {
 		return err
 	}
-	if n == 1 {
-		return nil
-	}
-	d := len(data)
-	next, prev := (node+1)%n, (node+n-1)%n
-	// Reduce-scatter: after step s, the chunk this node just received
-	// carries the partial sum of s+2 ring predecessors.
-	for s := 0; s < n-1; s++ {
-		sc := (node + n - s) % n
-		lo, hi := chunkBounds(d, n, sc)
-		if err := tp.Send(node, next, f64Bytes(data[lo:hi])); err != nil {
-			return err
-		}
-		rc := (node + n - s - 1) % n
-		lo, hi = chunkBounds(d, n, rc)
-		buf, err := tp.Recv(node, prev)
-		if err != nil {
-			return err
-		}
-		if err := f64Add(data[lo:hi], buf); err != nil {
-			return fmt.Errorf("cluster: ring reduce chunk %d: %w", rc, err)
-		}
-	}
-	// All-gather: circulate the fully reduced chunks.
-	for s := 0; s < n-1; s++ {
-		sc := (node + n + 1 - s) % n
-		lo, hi := chunkBounds(d, n, sc)
-		if err := tp.Send(node, next, f64Bytes(data[lo:hi])); err != nil {
-			return err
-		}
-		rc := (node + n - s) % n
-		lo, hi = chunkBounds(d, n, rc)
-		buf, err := tp.Recv(node, prev)
-		if err != nil {
-			return err
-		}
-		if err := f64Copy(data[lo:hi], buf); err != nil {
-			return fmt.Errorf("cluster: ring gather chunk %d: %w", rc, err)
-		}
-	}
-	return nil
+	return ringAllReduceGroup(tp, tp.Recv, identityMembers(n), node, data)
 }
 
 // AllGather circulates each node's payload once around the ring in N-1
@@ -122,30 +82,7 @@ func AllGatherInto(tp Transport, node, n int, own []byte, bufs [][]byte, overlap
 	if err := checkNode(tp, node, n); err != nil {
 		return nil, err
 	}
-	if cap(bufs) < n {
-		bufs = make([][]byte, n)
-	}
-	bufs = bufs[:n]
-	bufs[node] = own
-	cur := own
-	next, prev := (node+1)%n, (node+n-1)%n
-	for s := 0; s < n-1; s++ {
-		if err := tp.Send(node, next, cur); err != nil {
-			return nil, err
-		}
-		if s == 0 && overlap != nil {
-			if err := overlap(); err != nil {
-				return nil, err
-			}
-		}
-		var err error
-		cur, err = tp.Recv(node, prev)
-		if err != nil {
-			return nil, err
-		}
-		bufs[(node+n-1-s)%n] = cur
-	}
-	return bufs, nil
+	return allGatherGroup(tp, tp.Recv, identityMembers(n), node, own, bufs, overlap)
 }
 
 // PSPushPull is the worker half of the parameter-server exchange: push
@@ -163,25 +100,8 @@ func PSPushPull(tp Transport, worker, server int, payload []byte) ([]byte, error
 // deterministic), hand each to combine, then broadcast reply's result to
 // every worker. Message total across both halves is 2N.
 func PSServe(tp Transport, server, n int, combine func(worker int, payload []byte) error, reply func() ([]byte, error)) error {
-	for w := 0; w < n; w++ {
-		payload, err := tp.Recv(server, w)
-		if err != nil {
-			return err
-		}
-		if err := combine(w, payload); err != nil {
-			return fmt.Errorf("cluster: ps combine worker %d: %w", w, err)
-		}
-	}
-	out, err := reply()
-	if err != nil {
-		return fmt.Errorf("cluster: ps reply: %w", err)
-	}
-	for w := 0; w < n; w++ {
-		if err := tp.Send(server, w, out); err != nil {
-			return err
-		}
-	}
-	return nil
+	return psServeGroup(tp, tp.Recv, server, identityMembers(n),
+		func(_, worker int, payload []byte) error { return combine(worker, payload) }, reply)
 }
 
 func checkNode(tp Transport, node, n int) error {

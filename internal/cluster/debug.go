@@ -1,0 +1,23 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// debugOn enables fault-path diagnostics (membership renegotiations,
+// recovery attempts) on stderr when SIDCO_CLUSTER_DEBUG is set. The
+// happy path never logs; the fault path is rare and operators debugging
+// a split deployment need the per-rank timeline.
+var debugOn = os.Getenv("SIDCO_CLUSTER_DEBUG") != ""
+
+var debugStart = time.Now()
+
+func dbg(format string, args ...any) {
+	if !debugOn {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[cluster %8.3fs] %s\n",
+		time.Since(debugStart).Seconds(), fmt.Sprintf(format, args...))
+}

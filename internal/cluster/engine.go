@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/encoding"
@@ -61,6 +62,13 @@ type Config struct {
 	// aggregates are bit-identical to the sequential schedule at any
 	// setting. 0 or 1 decodes sequentially.
 	Parallelism int
+	// StepTimeout, when positive, bounds every blocking receive of one
+	// exchange: a worker stuck past the deadline fails its step with an
+	// error wrapping ErrTimeout instead of hanging. The Engine stays
+	// fail-stop — the classified error surfaces from Exchange and the
+	// engine shuts down; elastic recovery (retry over the surviving
+	// members) is Node's, the per-process runner. 0 disables deadlines.
+	StepTimeout time.Duration
 	// Telemetry, if non-nil, traces every round (per-node collective
 	// spans, per-chunk encode spans) and the gradient traffic on the
 	// instrumented transport (per-link sent/recv message and byte
@@ -213,6 +221,12 @@ type job struct {
 	dense  []float64
 	dim    int
 	coll   netsim.Collective // resolved collective, never Auto
+	// members is the participating worker node-id list (ascending) of an
+	// elastic deployment; nil means full membership 0..workers-1.
+	members []int
+	// deadline, when non-zero, bounds every blocking receive of the
+	// schedule run; a receive past it fails with ErrTimeout.
+	deadline time.Time
 }
 
 // result is what a node reports back after running its schedule.
@@ -264,6 +278,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.CompressSec < 0 {
 		return nil, fmt.Errorf("cluster: CompressSec = %v, need >= 0", cfg.CompressSec)
 	}
+	if cfg.StepTimeout < 0 {
+		return nil, fmt.Errorf("cluster: StepTimeout = %v, need >= 0", cfg.StepTimeout)
+	}
 	nodes := NodeCount(cfg.Workers, cfg.Collective)
 	inner := cfg.Transport
 	if inner == nil {
@@ -284,6 +301,7 @@ func New(cfg Config) (*Engine, error) {
 		cfg: cfg,
 		sched: sched{
 			workers:     cfg.Workers,
+			full:        identityMembers(cfg.Workers),
 			server:      server,
 			format:      format,
 			chunks:      cfg.Chunks,
@@ -366,8 +384,12 @@ func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) err
 	// node goroutine can send: Exchange is a synchronous barrier, so no
 	// message from another step can be in flight here.
 	e.sched.tp.SetStep(int64(step))
+	var deadline time.Time
+	if e.cfg.StepTimeout > 0 {
+		deadline = time.Now().Add(e.cfg.StepTimeout)
+	}
 	for w, in := range ins {
-		e.jobs[w] <- job{step: step, sparse: in.Sparse, dense: in.Dense, dim: len(agg), coll: coll}
+		e.jobs[w] <- job{step: step, sparse: in.Sparse, dense: in.Dense, dim: len(agg), coll: coll, deadline: deadline}
 	}
 	want := e.cfg.Workers
 	if e.sched.server >= 0 {
@@ -424,7 +446,11 @@ func (e *Engine) serverLoop() {
 	var srv psServer
 	for round := int64(0); ; round++ {
 		span := e.sched.tel.Begin(telemetry.SpanCollective, e.sched.server, -1, -1, round)
-		err := srv.round(e.sched.tp, e.sched.server, e.cfg.Workers, e.sched.format)
+		// The server receives without a deadline: it idles here between
+		// exchanges, so a round-start deadline would misfire. A worker
+		// timing out under StepTimeout closes the transport, which
+		// unblocks this receive with ErrClosed.
+		err := srv.round(e.sched.tp, e.sched.tp.Recv, e.sched.server, e.sched.full, e.sched.format)
 		span.End()
 		if err != nil {
 			// A server failure is fatal to the cluster: close the

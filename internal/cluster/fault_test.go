@@ -1,0 +1,416 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/netsim"
+)
+
+// TestFaultTransportPlan pins the deterministic failure semantics of
+// FaultTransport: a dead node's own operations fail with the ErrClosed
+// class, its inbound links blackhole, peers drain pre-death payloads
+// before seeing ErrPeerLost, and a killed link breaks after exactly its
+// send budget.
+func TestFaultTransportPlan(t *testing.T) {
+	t.Run("kill-rank", func(t *testing.T) {
+		inner, err := NewChanTransport(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inner.Close()
+		ft := NewFaultTransport(inner, FaultPlan{KillRank: map[int]int64{1: 2}})
+
+		// Before the fatal step everything passes through.
+		ft.SetStep(1)
+		if err := ft.Send(1, 0, []byte{7}); err != nil {
+			t.Fatalf("pre-death send: %v", err)
+		}
+		ft.SetStep(2)
+		// The dead node's own ops are the unrecoverable local class.
+		if err := ft.Send(1, 0, []byte{8}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("dead sender error = %v, want ErrClosed", err)
+		}
+		if _, err := ft.Recv(1, 0); !errors.Is(err, ErrClosed) {
+			t.Fatalf("dead receiver error = %v, want ErrClosed", err)
+		}
+		// Peers drain what the node sent before dying, then see peer loss.
+		p, err := ft.Recv(0, 1)
+		if err != nil || len(p) != 1 || p[0] != 7 {
+			t.Fatalf("pre-death payload: %v, %v", p, err)
+		}
+		if _, err := ft.Recv(0, 1); !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("post-drain recv = %v, want ErrPeerLost", err)
+		}
+		if !Recoverable(fmt.Errorf("wrap: %w", ErrPeerLost)) {
+			t.Fatal("ErrPeerLost must classify as recoverable")
+		}
+		// Sends into the dead node blackhole rather than erroring: a
+		// crashed peer's kernel would have accepted the bytes too.
+		if err := ft.Send(0, 1, []byte{9}); err != nil {
+			t.Fatalf("blackhole send: %v", err)
+		}
+	})
+	t.Run("kill-link", func(t *testing.T) {
+		inner, err := NewChanTransport(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inner.Close()
+		ft := NewFaultTransport(inner, FaultPlan{KillLink: map[Link]int{{0, 1}: 2}})
+		for i := 0; i < 2; i++ {
+			if err := ft.Send(0, 1, []byte{byte(i)}); err != nil {
+				t.Fatalf("send %d within budget: %v", i, err)
+			}
+		}
+		if err := ft.Send(0, 1, []byte{2}); !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("over-budget send = %v, want ErrPeerLost", err)
+		}
+		for i := 0; i < 2; i++ {
+			if p, err := ft.Recv(1, 0); err != nil || p[0] != byte(i) {
+				t.Fatalf("draining payload %d: %v, %v", i, p, err)
+			}
+		}
+		if _, err := ft.Recv(1, 0); !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("post-drain recv = %v, want ErrPeerLost", err)
+		}
+		// The reverse direction is untouched.
+		if err := ft.Send(1, 0, []byte{42}); err != nil {
+			t.Fatalf("reverse link send: %v", err)
+		}
+	})
+}
+
+// TestMemberFrameCodec pins the membership wire format and that no
+// legitimate payload shape parses as a frame.
+func TestMemberFrameCodec(t *testing.T) {
+	f := memberFrame{epoch: 3, round: 2, mask: 0b1011}
+	got, ok := parseMemberFrame(f.encode())
+	if !ok || got != f {
+		t.Fatalf("round trip: %+v ok=%v, want %+v", got, ok, f)
+	}
+	for _, p := range [][]byte{nil, {1}, make([]byte, 8), make([]byte, memberFrameLen), make([]byte, 64)} {
+		if _, ok := parseMemberFrame(p); ok {
+			t.Fatalf("%d zero bytes parsed as a member frame", len(p))
+		}
+	}
+}
+
+// TestMembershipAgreesOnSurvivors runs the renegotiation protocol at
+// three live nodes of a four-node group: the silent node is dropped and
+// every survivor agrees on the same view, with stale aborted-step
+// payloads on the links drained rather than misparsed.
+func TestMembershipAgreesOnSurvivors(t *testing.T) {
+	tp, err := NewChanTransport(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	// Stale gradient bytes from the aborted step sit ahead of the
+	// protocol frames on some links; the drain must skip them.
+	if err := tp.Send(0, 1, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Send(2, 0, make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	members := []int{0, 1, 2, 3}
+	type res struct {
+		self int
+		view []int
+		err  error
+	}
+	out := make(chan res, 3)
+	for _, self := range []int{0, 1, 2} { // node 3 is dead: never speaks
+		go func(self int) {
+			var ng negotiator
+			view, err := ng.renegotiate(tp, self, members, 1, 200*time.Millisecond)
+			out <- res{self, view, err}
+		}(self)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-out:
+			if r.err != nil {
+				t.Fatalf("node %d: %v", r.self, r.err)
+			}
+			if len(r.view) != 3 || r.view[0] != 0 || r.view[1] != 1 || r.view[2] != 2 {
+				t.Fatalf("node %d agreed on %v, want [0 1 2]", r.self, r.view)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("renegotiation hung")
+		}
+	}
+}
+
+// faultEnv builds one dead-peer scenario: per-rank transports (a shared
+// fault-wrapped channel transport, or one real TCP transport per rank),
+// a victim rank, and a kill switch that makes the victim disappear
+// between steps.
+type faultEnv struct {
+	name  string
+	build func(t *testing.T, nodes, victim int) (tps []Transport, kill func())
+}
+
+var faultEnvs = []faultEnv{
+	{"chan-fault", func(t *testing.T, nodes, victim int) ([]Transport, func()) {
+		inner, err := NewChanTransport(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { inner.Close() })
+		// Step-1 kill, one wrapper per rank: each node judges the victim
+		// dead by its OWN step clock (as separate processes would), so a
+		// rank that runs ahead — the PS server starts round 1 the moment
+		// round 0 ends — cannot kill the victim out from under a peer
+		// still finishing step 0.
+		tps := make([]Transport, nodes)
+		for i := range tps {
+			tps[i] = NewFaultTransport(inner, FaultPlan{KillRank: map[int]int64{victim: 1}})
+		}
+		return tps, func() {}
+	}},
+	{"tcp", func(t *testing.T, nodes, victim int) ([]Transport, func()) {
+		addrs, err := FreeLoopbackAddrs(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tps := make([]Transport, nodes)
+		for i := range tps {
+			tp, err := NewTCPTransport(TCPConfig{Addrs: addrs, Local: []int{i}, DialTimeout: 500 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { tp.Close() })
+			tps[i] = tp
+		}
+		return tps, func() { tps[victim].Close() }
+	}},
+}
+
+// TestKillRankSurfacesClassifiedError is the fail-stop regression test:
+// with retries disabled, killing one rank between steps must surface a
+// classified error — Recoverable (peer lost / timeout) or the ErrClosed
+// shutdown class — at every surviving rank within the step timeout, for
+// every collective schedule, over both the deterministic fault transport
+// and real TCP sockets. No surviving goroutine may hang.
+func TestKillRankSurfacesClassifiedError(t *testing.T) {
+	const workers, dim = 3, 32
+	cases := []struct {
+		name   string
+		coll   netsim.Collective
+		chunks int
+	}{
+		{"ring", netsim.CollectiveRing, 0},
+		{"allgather", netsim.CollectiveAllGather, 0},
+		{"allgather-chunked", netsim.CollectiveAllGather, 3},
+		{"ps", netsim.CollectivePS, 0},
+	}
+	for _, env := range faultEnvs {
+		for _, tc := range cases {
+			t.Run(env.name+"/"+tc.name, func(t *testing.T) {
+				nodes := NodeCount(workers, tc.coll)
+				victim := 1 // always a worker; the PS server must survive
+				tps, kill := env.build(t, nodes, victim)
+
+				type outcome struct {
+					rank int
+					err  error
+				}
+				results := make(chan outcome, nodes)
+				step := func(nd *Node, rank, it int) error {
+					in := []dist.ExchangeInput{{Worker: rank, Dense: denseGrad(rank, dim)}}
+					agg := make([]float64, dim)
+					if err := nd.Exchange(it, in, agg); err != nil {
+						return err
+					}
+					// The per-step barrier of a real deployment (loss
+					// reduction) keeps shared-buffer transports safe.
+					_, err := nd.MeanScalar(float64(rank))
+					return err
+				}
+				barrier := make(chan struct{})
+				for rank := 0; rank < nodes; rank++ {
+					go func(rank int) {
+						nd, err := NewNode(NodeConfig{
+							Workers: workers, Rank: rank, Collective: tc.coll, Chunks: tc.chunks,
+							Transport: tps[rank], StepTimeout: 500 * time.Millisecond,
+						})
+						if err != nil {
+							results <- outcome{rank, fmt.Errorf("build: %v", err)}
+							return
+						}
+						if rank == workers && tc.coll == netsim.CollectivePS {
+							results <- outcome{rank, nd.Serve(2)}
+							return
+						}
+						if err := step(nd, rank, 0); err != nil {
+							results <- outcome{rank, fmt.Errorf("healthy step: %v", err)}
+							return
+						}
+						<-barrier
+						if rank == victim {
+							results <- outcome{rank, nil} // dead: never runs step 1
+							return
+						}
+						results <- outcome{rank, step(nd, rank, 1)}
+					}(rank)
+				}
+				// Give every rank time to finish the healthy step, then kill.
+				time.Sleep(300 * time.Millisecond)
+				kill()
+				close(barrier)
+				for i := 0; i < nodes; i++ {
+					select {
+					case r := <-results:
+						if r.rank == victim {
+							continue
+						}
+						if r.err == nil {
+							// The server treats a closed transport as clean
+							// shutdown (its documented stop signal): when a
+							// fail-stopping worker closes a shared transport,
+							// a nil Serve result is correct.
+							if r.rank == workers && tc.coll == netsim.CollectivePS {
+								continue
+							}
+							t.Errorf("rank %d finished step 1 despite the dead peer", r.rank)
+							continue
+						}
+						if !Recoverable(r.err) && !errors.Is(r.err, ErrClosed) {
+							t.Errorf("rank %d error not classified: %v", r.rank, r.err)
+						}
+					case <-time.After(30 * time.Second):
+						t.Fatal("a surviving rank hung past the step timeout")
+					}
+				}
+			})
+		}
+	}
+}
+
+// denseGrad is a rank-distinct gradient so aggregation results identify
+// exactly who contributed.
+func denseGrad(rank, dim int) []float64 {
+	g := make([]float64, dim)
+	for i := range g {
+		g[i] = float64(rank+1) + float64(i)/16
+	}
+	return g
+}
+
+// TestElasticRecoverySurvivorsComplete is the elastic-membership
+// acceptance test: with retries enabled, the survivors of a mid-run
+// death renegotiate, exclude the dead rank from the next schedule, and
+// complete the step with the aggregate rescaled to the survivor count —
+// over both the fault transport and real TCP.
+func TestElasticRecoverySurvivorsComplete(t *testing.T) {
+	const workers, dim = 4, 32
+	const victim = 2
+	for _, env := range faultEnvs {
+		t.Run(env.name, func(t *testing.T) {
+			tps, kill := env.build(t, workers, victim)
+			type outcome struct {
+				rank   int
+				agg    []float64
+				scalar float64
+				err    error
+			}
+			results := make(chan outcome, workers)
+			barrier := make(chan struct{})
+			for rank := 0; rank < workers; rank++ {
+				go func(rank int) {
+					nd, err := NewNode(NodeConfig{
+						Workers: workers, Rank: rank, Collective: netsim.CollectiveAllGather,
+						Transport: tps[rank], StepTimeout: 400 * time.Millisecond, MaxStepRetries: 2,
+					})
+					if err != nil {
+						results <- outcome{rank: rank, err: err}
+						return
+					}
+					run := func(it int) ([]float64, float64, error) {
+						in := []dist.ExchangeInput{{Worker: rank, Dense: denseGrad(rank, dim)}}
+						agg := make([]float64, dim)
+						if err := nd.Exchange(it, in, agg); err != nil {
+							return nil, 0, err
+						}
+						s, err := nd.MeanScalar(float64(rank))
+						return agg, s, err
+					}
+					if _, _, err := run(0); err != nil {
+						results <- outcome{rank: rank, err: fmt.Errorf("healthy step: %v", err)}
+						return
+					}
+					<-barrier
+					if rank == victim {
+						results <- outcome{rank: rank}
+						return
+					}
+					agg, s, err := run(1)
+					results <- outcome{rank: rank, agg: agg, scalar: s, err: err}
+				}(rank)
+			}
+			time.Sleep(300 * time.Millisecond)
+			kill()
+			close(barrier)
+
+			// Expected survivor aggregate: contributions summed in member
+			// order and rescaled by the survivor count, exactly as the
+			// group schedule computes it.
+			wantAgg := make([]float64, dim)
+			for _, r := range []int{0, 1, 3} {
+				g := denseGrad(r, dim)
+				for i := range wantAgg {
+					wantAgg[i] += g[i]
+				}
+			}
+			for i := range wantAgg {
+				wantAgg[i] *= 1 / float64(3)
+			}
+			wantScalar := (0.0 + 1.0 + 3.0) * (1 / float64(3))
+
+			for i := 0; i < workers; i++ {
+				select {
+				case r := <-results:
+					if r.rank == victim {
+						continue
+					}
+					if r.err != nil {
+						t.Fatalf("survivor %d failed step 1: %v", r.rank, r.err)
+					}
+					for j := range wantAgg {
+						if r.agg[j] != wantAgg[j] {
+							t.Fatalf("survivor %d agg[%d] = %v, want %v (mean over survivors)", r.rank, j, r.agg[j], wantAgg[j])
+						}
+					}
+					if r.scalar != wantScalar {
+						t.Fatalf("survivor %d scalar = %v, want %v", r.rank, r.scalar, wantScalar)
+					}
+				case <-time.After(30 * time.Second):
+					t.Fatal("a survivor hung during elastic recovery")
+				}
+			}
+		})
+	}
+}
+
+// TestRetriesRequireTimeout pins the config coupling: elastic recovery
+// without receive deadlines would hang non-adjacent survivors forever,
+// so NewNode rejects it.
+func TestRetriesRequireTimeout(t *testing.T) {
+	tp, err := NewChanTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	_, err = NewNode(NodeConfig{
+		Workers: 2, Rank: 0, Collective: netsim.CollectiveAllGather,
+		Transport: tp, MaxStepRetries: 1,
+	})
+	if err == nil {
+		t.Fatal("MaxStepRetries without StepTimeout should be rejected")
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+)
+
+// The group-aware collective schedules below generalise the exported
+// collectives from "nodes 0..n-1" to an arbitrary sorted member list —
+// the survivor set after elastic membership excludes a dead peer. Ring
+// neighbours are taken by *position* in the member list and chunk
+// geometry is computed over the member count, so over the full list the
+// message schedules are byte-for-byte the exported collectives'. All
+// receives go through a linkRecv hook, which is where the per-step
+// deadline and the membership-frame interception live.
+
+// linkRecv abstracts one blocking receive on a directed link. The
+// schedule code never calls Transport.Recv directly: the hook lets the
+// runner apply a step deadline (RecvTimeout) and turn an intercepted
+// membership frame into a recoverable error without the schedules
+// knowing about either.
+type linkRecv func(to, from int) ([]byte, error)
+
+// identityMembers is the full-membership list 0..n-1.
+func identityMembers(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// memberPos returns the position of id in the ascending member list, or
+// -1 if id is not a member.
+func memberPos(members []int, id int) int {
+	for p, m := range members {
+		if m == id {
+			return p
+		}
+	}
+	return -1
+}
+
+// checkMember validates a group schedule call: members must be
+// non-empty, within the transport, and contain self.
+func checkMember(tp Transport, members []int, self int) (pos int, err error) {
+	if len(members) < 1 {
+		return -1, fmt.Errorf("cluster: empty member group")
+	}
+	for _, m := range members {
+		if m < 0 || m >= tp.Nodes() {
+			return -1, fmt.Errorf("cluster: member %d outside the %d-node transport", m, tp.Nodes())
+		}
+	}
+	pos = memberPos(members, self)
+	if pos < 0 {
+		return -1, fmt.Errorf("cluster: node %d is not in the member group %v", self, members)
+	}
+	return pos, nil
+}
+
+// ringAllReduceGroup is RingAllReduce over an explicit member list:
+// neighbours by position, chunks by member count, reduction in ring
+// order. Over identityMembers(n) it is message-for-message
+// RingAllReduce.
+func ringAllReduceGroup(tp Transport, recv linkRecv, members []int, self int, data []float64) error {
+	pos, err := checkMember(tp, members, self)
+	if err != nil {
+		return err
+	}
+	m := len(members)
+	if m == 1 {
+		return nil
+	}
+	d := len(data)
+	next, prev := members[(pos+1)%m], members[(pos+m-1)%m]
+	// Reduce-scatter: after step s, the chunk this node just received
+	// carries the partial sum of s+2 ring predecessors.
+	for s := 0; s < m-1; s++ {
+		sc := (pos + m - s) % m
+		lo, hi := chunkBounds(d, m, sc)
+		if err := tp.Send(self, next, f64Bytes(data[lo:hi])); err != nil {
+			return err
+		}
+		rc := (pos + m - s - 1) % m
+		lo, hi = chunkBounds(d, m, rc)
+		buf, err := recv(self, prev)
+		if err != nil {
+			return err
+		}
+		if err := f64Add(data[lo:hi], buf); err != nil {
+			return fmt.Errorf("cluster: ring reduce chunk %d: %w", rc, err)
+		}
+	}
+	// All-gather: circulate the fully reduced chunks.
+	for s := 0; s < m-1; s++ {
+		sc := (pos + m + 1 - s) % m
+		lo, hi := chunkBounds(d, m, sc)
+		if err := tp.Send(self, next, f64Bytes(data[lo:hi])); err != nil {
+			return err
+		}
+		rc := (pos + m - s) % m
+		lo, hi = chunkBounds(d, m, rc)
+		buf, err := recv(self, prev)
+		if err != nil {
+			return err
+		}
+		if err := f64Copy(data[lo:hi], buf); err != nil {
+			return fmt.Errorf("cluster: ring gather chunk %d: %w", rc, err)
+		}
+	}
+	return nil
+}
+
+// allGatherGroup is AllGatherInto over an explicit member list. bufs is
+// indexed by member *position* (bufs[pos] holds members[pos]'s payload;
+// the caller's own payload is aliased at its position). Over
+// identityMembers(n) position equals node id, so the result layout and
+// the message schedule match AllGatherInto exactly.
+func allGatherGroup(tp Transport, recv linkRecv, members []int, self int, own []byte, bufs [][]byte, overlap func() error) ([][]byte, error) {
+	pos, err := checkMember(tp, members, self)
+	if err != nil {
+		return nil, err
+	}
+	m := len(members)
+	if cap(bufs) < m {
+		bufs = make([][]byte, m)
+	}
+	bufs = bufs[:m]
+	bufs[pos] = own
+	cur := own
+	next, prev := members[(pos+1)%m], members[(pos+m-1)%m]
+	for s := 0; s < m-1; s++ {
+		if err := tp.Send(self, next, cur); err != nil {
+			return nil, err
+		}
+		if s == 0 && overlap != nil {
+			if err := overlap(); err != nil {
+				return nil, err
+			}
+		}
+		cur, err = recv(self, prev)
+		if err != nil {
+			return nil, err
+		}
+		bufs[(pos+m-1-s)%m] = cur
+	}
+	return bufs, nil
+}
+
+// psServeGroup is PSServe over an explicit worker member list: one push
+// per surviving worker, received in member (ascending-rank) order, then
+// the reply broadcast to the same set. combine sees both the member
+// position (0 = first survivor, which defines the round's dimension)
+// and the worker's node id.
+func psServeGroup(tp Transport, recv linkRecv, server int, workers []int, combine func(pos, worker int, payload []byte) error, reply func() ([]byte, error)) error {
+	for pos, w := range workers {
+		payload, err := recv(server, w)
+		if err != nil {
+			return err
+		}
+		if err := combine(pos, w, payload); err != nil {
+			return fmt.Errorf("cluster: ps combine worker %d: %w", w, err)
+		}
+	}
+	out, err := reply()
+	if err != nil {
+		return fmt.Errorf("cluster: ps reply: %w", err)
+	}
+	for _, w := range workers {
+		if err := tp.Send(server, w, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

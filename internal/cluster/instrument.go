@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
@@ -126,8 +127,15 @@ func NewInstrumented(inner Transport, scen *Scenario) *Instrumented {
 // given training step, so trace assembly can slice a stream per step.
 // The schedules are synchronous — every in-flight message belongs to
 // exactly one exchange — so a single transport-wide tag is race-free
-// when set before the exchange fans out. Pass -1 to clear.
-func (t *Instrumented) SetStep(step int64) { t.step.Store(step) }
+// when set before the exchange fans out. Pass -1 to clear. The tag is
+// forwarded to the wrapped transport when it wants one (FaultTransport
+// triggers step-scheduled kills off it).
+func (t *Instrumented) SetStep(step int64) {
+	t.step.Store(step)
+	if s, ok := t.inner.(interface{ SetStep(int64) }); ok {
+		s.SetStep(step)
+	}
+}
 
 // WithTelemetry attaches a tracer and returns the receiver: every Send
 // emits sent-message/byte counter events and every Recv emits
@@ -185,11 +193,29 @@ func (t *Instrumented) Send(from, to int, payload []byte) error {
 // Recv implements Transport, advancing the receiver's clock once the
 // payload arrives.
 func (t *Instrumented) Recv(to, from int) ([]byte, error) {
+	return t.recv(to, from, -1)
+}
+
+// RecvTimeout implements TimeoutRecver when the wrapped transport does,
+// with identical accounting: a timed-out call delivers nothing and
+// counts nothing. Without inner support it degrades to blocking Recv.
+func (t *Instrumented) RecvTimeout(to, from int, timeout time.Duration) ([]byte, error) {
+	return t.recv(to, from, timeout)
+}
+
+// recv is the shared receive path; timeout < 0 blocks.
+func (t *Instrumented) recv(to, from int, timeout time.Duration) ([]byte, error) {
 	var t0 int64
 	if t.tel.Enabled() {
 		t0 = telemetry.Monotonic()
 	}
-	payload, err := t.inner.Recv(to, from)
+	var payload []byte
+	var err error
+	if tr, ok := t.inner.(TimeoutRecver); ok && timeout >= 0 {
+		payload, err = tr.RecvTimeout(to, from, timeout)
+	} else {
+		payload, err = t.inner.Recv(to, from)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/encoding"
@@ -20,7 +21,8 @@ import (
 // after construction, so Engine's node goroutines share one value.
 type sched struct {
 	workers     int
-	server      int // server node id under PS, else -1
+	full        []int // identityMembers(workers): the full-membership list
+	server      int   // server node id under PS, else -1
 	format      encoding.Format
 	chunks      int
 	parallel    int // decode fan-out per chunk round (<=1: sequential)
@@ -28,6 +30,15 @@ type sched struct {
 	compressSec float64
 	tp          *Instrumented
 	tel         *telemetry.Tracer
+}
+
+// jobMembers resolves a job's worker member list (nil: full
+// membership).
+func (s *sched) jobMembers(jb job) []int {
+	if jb.members != nil {
+		return jb.members
+	}
+	return s.full
 }
 
 // nodeScratch is one node's reusable pipeline storage: encode buffers
@@ -69,7 +80,8 @@ func (s *sched) runCollective(w int, jb job, sc *nodeScratch, out []float64) err
 	if s.computeSec > 0 {
 		s.tp.Compute(w, s.computeSec)
 	}
-	n := s.workers
+	members := s.jobMembers(jb)
+	recv := interceptRecv(s.tp, jb.deadline)
 	switch jb.coll {
 	case netsim.CollectiveRing:
 		// Dense in-ring reduction: start from the local dense gradient
@@ -83,10 +95,10 @@ func (s *sched) runCollective(w int, jb job, sc *nodeScratch, out []float64) err
 			}
 			copy(out, jb.dense)
 		}
-		if err := RingAllReduce(s.tp, w, n, out); err != nil {
+		if err := ringAllReduceGroup(s.tp, recv, members, w, out); err != nil {
 			return err
 		}
-		tensor.Scale(1/float64(n), out)
+		tensor.Scale(1/float64(len(members)), out)
 		return nil
 
 	case netsim.CollectiveAllGather:
@@ -104,7 +116,10 @@ func (s *sched) runCollective(w int, jb job, sc *nodeScratch, out []float64) err
 		if err != nil {
 			return err
 		}
-		reply, err := PSPushPull(s.tp, w, s.server, sc.enc[0])
+		if err := s.tp.Send(w, s.server, sc.enc[0]); err != nil {
+			return err
+		}
+		reply, err := recv(w, s.server)
 		if err != nil {
 			return err
 		}
@@ -140,7 +155,9 @@ func (s *sched) runCollective(w int, jb job, sc *nodeScratch, out []float64) err
 // sum — the schedule still runs C full all-gathers, which is what the
 // traffic formulas (netsim.ChunkedAllGatherMessages) count.
 func (s *sched) runAllGather(w int, jb job, sc *nodeScratch, out []float64) error {
-	n := s.workers
+	members := s.jobMembers(jb)
+	recv := interceptRecv(s.tp, jb.deadline)
+	n := len(members)
 	C := s.chunkCount()
 	sp, err := s.localSparse(jb, sc)
 	if err != nil {
@@ -201,7 +218,7 @@ func (s *sched) runAllGather(w int, jb job, sc *nodeScratch, out []float64) erro
 			}
 			return nil
 		}
-		sc.gather, err = AllGatherInto(s.tp, w, n, sc.enc[c], sc.gather, overlap)
+		sc.gather, err = allGatherGroup(s.tp, recv, members, w, sc.enc[c], sc.gather, overlap)
 		if err != nil {
 			return err
 		}
@@ -227,20 +244,20 @@ func (s *sched) runAllGather(w int, jb job, sc *nodeScratch, out []float64) erro
 			})
 			for origin := 0; origin < n; origin++ {
 				if err := sc.decErr[origin]; err != nil {
-					return fmt.Errorf("decoding origin %d chunk %d: %w", origin, c, err)
+					return fmt.Errorf("decoding origin %d chunk %d: %w", members[origin], c, err)
 				}
 				if sc.decs[origin].Dim != jb.dim {
-					return fmt.Errorf("origin %d has dim %d, want %d", origin, sc.decs[origin].Dim, jb.dim)
+					return fmt.Errorf("origin %d has dim %d, want %d", members[origin], sc.decs[origin].Dim, jb.dim)
 				}
 				sc.decs[origin].AddTo(out)
 			}
 		} else {
 			for origin := 0; origin < n; origin++ {
 				if err := encoding.DecodeInto(&sc.dec, sc.gather[origin]); err != nil {
-					return fmt.Errorf("decoding origin %d chunk %d: %w", origin, c, err)
+					return fmt.Errorf("decoding origin %d chunk %d: %w", members[origin], c, err)
 				}
 				if sc.dec.Dim != jb.dim {
-					return fmt.Errorf("origin %d has dim %d, want %d", origin, sc.dec.Dim, jb.dim)
+					return fmt.Errorf("origin %d has dim %d, want %d", members[origin], sc.dec.Dim, jb.dim)
 				}
 				sc.dec.AddTo(out)
 			}
@@ -287,14 +304,15 @@ type psServer struct {
 	wire []byte
 }
 
-// round serves one parameter-server exchange: receive every worker's
-// push in worker-index order, combine, and broadcast the mean.
-func (s *psServer) round(tp Transport, server, workers int, format encoding.Format) error {
-	combine := func(worker int, payload []byte) error {
+// round serves one parameter-server exchange: receive every surviving
+// worker's push in worker-index order, combine, and broadcast the mean
+// over the surviving count.
+func (s *psServer) round(tp Transport, recv linkRecv, server int, workers []int, format encoding.Format) error {
+	combine := func(pos, worker int, payload []byte) error {
 		if err := encoding.DecodeInto(&s.dec, payload); err != nil {
 			return err
 		}
-		if worker == 0 {
+		if pos == 0 {
 			s.dim = s.dec.Dim
 			if len(s.acc) != s.dim {
 				s.acc = make([]float64, s.dim)
@@ -303,13 +321,14 @@ func (s *psServer) round(tp Transport, server, workers int, format encoding.Form
 		} else if s.dec.Dim != s.dim {
 			return fmt.Errorf("worker %d pushed dim %d, want %d", worker, s.dec.Dim, s.dim)
 		}
-		// Worker-index arrival order (PSServe receives 0..n-1) keeps
-		// the sum bit-identical to the in-process reducer.
+		// Worker-index arrival order (psServeGroup receives in ascending
+		// member order) keeps the sum bit-identical to the in-process
+		// reducer.
 		s.dec.AddTo(s.acc)
 		return nil
 	}
 	reply := func() ([]byte, error) {
-		tensor.Scale(1/float64(workers), s.acc)
+		tensor.Scale(1/float64(len(workers)), s.acc)
 		sparsifyInto(&s.agg, s.dim, s.acc)
 		var err error
 		// The reply buffer is broadcast to every worker and read
@@ -321,7 +340,7 @@ func (s *psServer) round(tp Transport, server, workers int, format encoding.Form
 		}
 		return s.wire, nil
 	}
-	return PSServe(tp, server, workers, combine, reply)
+	return psServeGroup(tp, recv, server, workers, combine, reply)
 }
 
 // sparsifyInto extracts the non-zero support of a dense vector into
@@ -357,6 +376,26 @@ type NodeConfig struct {
 	Parallelism int
 	ComputeSec  float64
 	CompressSec float64
+	// StepTimeout, when positive, bounds every blocking receive of one
+	// exchange (and of one server round): a receive stuck past the
+	// deadline fails the step with an error wrapping ErrTimeout — a
+	// recoverable classification, unlike ErrClosed. It must comfortably
+	// exceed one full step including every peer's local compute, since
+	// the schedules only interlock once all peers reach the exchange.
+	// 0 disables deadlines (a dead peer then blocks the step forever
+	// unless the transport detects it, as TCP does).
+	StepTimeout time.Duration
+	// MaxStepRetries enables elastic recovery: a step that fails
+	// recoverably (peer lost or receive timeout) triggers a membership
+	// renegotiation among the surviving nodes — fixed mask-exchange
+	// rounds over the raw transport that double as a link drain — and is
+	// then retried over the agreed group, up to this many times across
+	// the node's lifetime per step. The surviving workers rescale the
+	// aggregated mean to their count. 0 keeps the fail-stop behaviour.
+	// Requires StepTimeout > 0: without deadlines, survivors that are
+	// not adjacent to the dead peer would block forever instead of
+	// joining the renegotiation.
+	MaxStepRetries int
 	// Transport is required: typically a TCPTransport hosting this rank
 	// over the deployment's shared host list. It must span
 	// NodeCount(Workers, Collective) nodes.
@@ -404,6 +443,13 @@ type Node struct {
 	scalar [8]byte
 	sgath  [][]byte
 	closed bool
+
+	// Elastic-membership state: the agreed participant list (worker node
+	// ids plus the server id under PS), the renegotiation epoch, and the
+	// stash of membership frames consumed out-of-band.
+	group []int
+	epoch uint32
+	ng    negotiator
 }
 
 // NewNode validates cfg and binds the node to its transport.
@@ -426,6 +472,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.CompressSec < 0 {
 		return nil, fmt.Errorf("cluster: CompressSec = %v, need >= 0", cfg.CompressSec)
 	}
+	if cfg.StepTimeout < 0 {
+		return nil, fmt.Errorf("cluster: StepTimeout = %v, need >= 0", cfg.StepTimeout)
+	}
+	if cfg.MaxStepRetries < 0 {
+		return nil, fmt.Errorf("cluster: MaxStepRetries = %d, need >= 0", cfg.MaxStepRetries)
+	}
+	if cfg.MaxStepRetries > 0 && cfg.StepTimeout <= 0 {
+		return nil, fmt.Errorf("cluster: MaxStepRetries = %d requires StepTimeout > 0 (recovery needs receive deadlines to detect a dead peer from every rank)", cfg.MaxStepRetries)
+	}
 	nodes := NodeCount(cfg.Workers, cfg.Collective)
 	if cfg.Rank < 0 || cfg.Rank >= nodes {
 		return nil, fmt.Errorf("cluster: Rank = %d outside the %d-node deployment", cfg.Rank, nodes)
@@ -444,10 +499,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		server = cfg.Workers
 	}
 	return &Node{
-		cfg: cfg,
-		raw: cfg.Transport,
+		cfg:   cfg,
+		raw:   cfg.Transport,
+		group: identityMembers(nodes),
 		sched: sched{
 			workers:     cfg.Workers,
+			full:        identityMembers(cfg.Workers),
 			server:      server,
 			format:      format,
 			chunks:      cfg.Chunks,
@@ -489,13 +546,78 @@ func (n *Node) Exchange(step int, ins []dist.ExchangeInput, agg []float64) error
 	if err != nil {
 		return err
 	}
-	jb := job{step: step, sparse: ins[0].Sparse, dense: ins[0].Dense, dim: len(agg), coll: coll}
-	n.sched.tp.SetStep(int64(step))
-	if err := n.sched.runWorker(n.cfg.Rank, jb, &n.sc, agg); err != nil {
-		// Fail-stop, like Engine: a broken round leaves stray messages on
-		// the links, so this node cannot safely run another schedule.
-		n.Close()
-		return fmt.Errorf("cluster: node %d: %w", n.cfg.Rank, err)
+	for attempt := 0; ; attempt++ {
+		jb := job{
+			step: step, sparse: ins[0].Sparse, dense: ins[0].Dense, dim: len(agg), coll: coll,
+			members: n.workerMembers(), deadline: n.stepDeadline(),
+		}
+		n.sched.tp.SetStep(int64(step))
+		err := n.sched.runWorker(n.cfg.Rank, jb, &n.sc, agg)
+		if err == nil {
+			return nil
+		}
+		if !Recoverable(err) || attempt >= n.cfg.MaxStepRetries {
+			// Fail-stop, like Engine: a broken round leaves stray messages
+			// on the links, so this node cannot safely run another
+			// schedule.
+			n.Close()
+			return fmt.Errorf("cluster: node %d: %w", n.cfg.Rank, err)
+		}
+		if rerr := n.recover(err); rerr != nil {
+			n.Close()
+			return fmt.Errorf("cluster: node %d: step %d recovery after %v: %w", n.cfg.Rank, step, err, rerr)
+		}
+	}
+}
+
+// workerMembers returns the current worker participants: the agreed
+// group minus the server node (if any), ascending.
+func (n *Node) workerMembers() []int {
+	if n.sched.server < 0 {
+		return n.group
+	}
+	ws := make([]int, 0, len(n.group))
+	for _, id := range n.group {
+		if id < n.cfg.Workers {
+			ws = append(ws, id)
+		}
+	}
+	return ws
+}
+
+// stepDeadline computes the receive deadline of one schedule run.
+func (n *Node) stepDeadline() time.Time {
+	if n.cfg.StepTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(n.cfg.StepTimeout)
+}
+
+// recover handles a recoverable step failure: renegotiate membership
+// with the survivors (seeding the protocol with a frame the failing
+// receive may already have consumed) and validate that the agreed group
+// can still train. The renegotiation timeout is twice the step timeout:
+// a survivor adjacent to the dead peer fails fast, one waiting on a
+// forwarded payload only after a full step timeout.
+func (n *Node) recover(cause error) error {
+	var pr *peerRenegotiating
+	if errors.As(cause, &pr) {
+		n.ng.note(pr.from, pr.frame)
+	}
+	timeout := 2 * n.cfg.StepTimeout
+	dbg("node %d: recovering (epoch %d) after: %v", n.cfg.Rank, n.epoch+1, cause)
+	view, err := n.ng.renegotiate(n.raw, n.cfg.Rank, n.group, n.epoch+1, timeout)
+	if err != nil {
+		return err
+	}
+	dbg("node %d: epoch %d agreed members %v", n.cfg.Rank, n.epoch+1, view)
+	n.epoch++
+	n.group = view
+	if n.sched.server >= 0 && memberPos(view, n.sched.server) < 0 {
+		return fmt.Errorf("cluster: parameter server lost — a PS deployment cannot recover without its server")
+	}
+	if len(n.workerMembers()) < 1 {
+		return fmt.Errorf("cluster: no workers left in the renegotiated group %v", view)
 	}
 	return nil
 }
@@ -513,25 +635,35 @@ func (n *Node) MeanScalar(x float64) (float64, error) {
 	if n.cfg.Rank >= n.cfg.Workers {
 		return 0, fmt.Errorf("cluster: scalar reduce on the server node (rank %d)", n.cfg.Rank)
 	}
-	if n.cfg.Workers == 1 {
-		return x, nil
-	}
 	binary.LittleEndian.PutUint64(n.scalar[:], math.Float64bits(x))
-	var err error
-	n.sgath, err = AllGatherInto(n.raw, n.cfg.Rank, n.cfg.Workers, n.scalar[:], n.sgath, nil)
-	if err != nil {
-		n.Close()
-		return 0, fmt.Errorf("cluster: node %d scalar reduce: %w", n.cfg.Rank, err)
-	}
-	sum := 0.0
-	for w := 0; w < n.cfg.Workers; w++ {
-		if len(n.sgath[w]) != 8 {
-			n.Close()
-			return 0, fmt.Errorf("cluster: node %d scalar reduce: origin %d payload has %d bytes", n.cfg.Rank, w, len(n.sgath[w]))
+	for attempt := 0; ; attempt++ {
+		members := n.workerMembers()
+		if len(members) == 1 {
+			return x, nil
 		}
-		sum += math.Float64frombits(binary.LittleEndian.Uint64(n.sgath[w]))
+		recv := interceptRecv(n.raw, n.stepDeadline())
+		sgath, err := allGatherGroup(n.raw, recv, members, n.cfg.Rank, n.scalar[:], n.sgath, nil)
+		if err == nil {
+			n.sgath = sgath
+			sum := 0.0
+			for pos := range members {
+				if len(sgath[pos]) != 8 {
+					n.Close()
+					return 0, fmt.Errorf("cluster: node %d scalar reduce: origin %d payload has %d bytes", n.cfg.Rank, members[pos], len(sgath[pos]))
+				}
+				sum += math.Float64frombits(binary.LittleEndian.Uint64(sgath[pos]))
+			}
+			return sum * (1 / float64(len(members))), nil
+		}
+		if !Recoverable(err) || attempt >= n.cfg.MaxStepRetries {
+			n.Close()
+			return 0, fmt.Errorf("cluster: node %d scalar reduce: %w", n.cfg.Rank, err)
+		}
+		if rerr := n.recover(err); rerr != nil {
+			n.Close()
+			return 0, fmt.Errorf("cluster: node %d scalar reduce recovery after %v: %w", n.cfg.Rank, err, rerr)
+		}
 	}
-	return sum * (1 / float64(n.cfg.Workers)), nil
 }
 
 // Serve runs the parameter-server loop (Rank == Workers): one
@@ -549,16 +681,28 @@ func (n *Node) Serve(rounds int) error {
 	var srv psServer
 	for served := 0; rounds <= 0 || served < rounds; served++ {
 		n.sched.tp.SetStep(int64(served))
-		span := n.sched.tel.Begin(telemetry.SpanCollective, n.cfg.Rank, -1, -1, int64(served))
-		err := srv.round(n.sched.tp, n.sched.server, n.cfg.Workers, n.sched.format)
-		span.End()
-		if err != nil {
-			n.closed = true
+		for attempt := 0; ; attempt++ {
+			span := n.sched.tel.Begin(telemetry.SpanCollective, n.cfg.Rank, -1, -1, int64(served))
+			recv := interceptRecv(n.sched.tp, n.stepDeadline())
+			err := srv.round(n.sched.tp, recv, n.sched.server, n.workerMembers(), n.sched.format)
+			span.End()
+			if err == nil {
+				break
+			}
 			if errors.Is(err, ErrClosed) {
+				n.closed = true
 				return nil
 			}
-			n.sched.tp.Close()
-			return fmt.Errorf("cluster: server: %w", err)
+			if !Recoverable(err) || attempt >= n.cfg.MaxStepRetries {
+				n.closed = true
+				n.sched.tp.Close()
+				return fmt.Errorf("cluster: server: %w", err)
+			}
+			if rerr := n.recover(err); rerr != nil {
+				n.closed = true
+				n.sched.tp.Close()
+				return fmt.Errorf("cluster: server: round %d recovery after %v: %w", served, err, rerr)
+			}
 		}
 	}
 	return nil

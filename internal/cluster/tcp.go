@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -10,6 +11,15 @@ import (
 
 	"repro/internal/telemetry"
 )
+
+// ErrHandshakeTimeout is wrapped by the error an accepted connection
+// produces when its peer never completes the 12-byte handshake within
+// the dial-timeout budget: the connection was established, so the dial
+// retry loop is the wrong diagnosis — the peer is up but not speaking
+// the protocol (a stray client on the port, or a wedged process). The
+// recorded error names the remote address; HandshakeErrors retrieves
+// what the accept side observed.
+var ErrHandshakeTimeout = errors.New("handshake timed out")
 
 // TCPConfig assembles a TCPTransport.
 type TCPConfig struct {
@@ -77,6 +87,9 @@ type TCPTransport struct {
 	sends map[Link]*tcpSendLink
 	conns map[net.Conn]struct{}
 	wg    sync.WaitGroup
+
+	hsMu   sync.Mutex
+	hsErrs []error // accept-side handshake failures, per connection
 }
 
 // tcpSendLink is the sender half of one directed link: the lazily
@@ -232,12 +245,15 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 }
 
 // sendErr maps a socket write failure onto the Transport contract: after
-// Close every send error reports the closure, not the torn-down socket.
+// Close every send error reports the closure, not the torn-down socket;
+// before it, a failed write means the peer tore the connection down
+// (process death shows up as RST/broken pipe on the next write), which
+// classifies as the recoverable peer-loss the elastic layer handles.
 func (t *TCPTransport) sendErr(from, to int, err error) error {
 	if t.closed() {
 		return fmt.Errorf("cluster: send %d->%d: %w", from, to, ErrClosed)
 	}
-	return fmt.Errorf("cluster: send %d->%d: %w", from, to, err)
+	return fmt.Errorf("cluster: send %d->%d: link broke: %w: %v", from, to, ErrPeerLost, err)
 }
 
 func (t *TCPTransport) sendLink(from, to int) *tcpSendLink {
@@ -327,7 +343,7 @@ func (t *TCPTransport) Recv(to, from int) ([]byte, error) {
 				// the deterministic signal the contract promises.
 				return nil, fmt.Errorf("cluster: recv %d->%d: %w", to, from, ErrClosed)
 			}
-			return nil, fmt.Errorf("cluster: recv %d->%d: link lost (peer connection broke)", to, from)
+			return nil, fmt.Errorf("cluster: recv %d->%d: link broke: %w", to, from, ErrPeerLost)
 		}
 		return p, nil
 	}
@@ -345,6 +361,57 @@ func (t *TCPTransport) Recv(to, from int) ([]byte, error) {
 			return deliver(p)
 		default:
 			return nil, fmt.Errorf("cluster: recv %d->%d: %w", to, from, ErrClosed)
+		}
+	}
+}
+
+// RecvTimeout implements TimeoutRecver over the same inbox machinery as
+// Recv: delivered payloads win over the close error and the timeout; a
+// nil poison still reports the lost link.
+func (t *TCPTransport) RecvTimeout(to, from int, timeout time.Duration) ([]byte, error) {
+	if err := t.check(from, to); err != nil {
+		return nil, err
+	}
+	if !t.local[to] {
+		return nil, fmt.Errorf("cluster: recv at node %d, which this transport does not host", to)
+	}
+	ch := t.inbox[Link{from, to}]
+	deliver := func(p []byte) ([]byte, error) {
+		if p == nil {
+			select {
+			case ch <- nil:
+			default:
+			}
+			if t.closed() {
+				return nil, fmt.Errorf("cluster: recv %d->%d: %w", to, from, ErrClosed)
+			}
+			return nil, fmt.Errorf("cluster: recv %d->%d: link broke: %w", to, from, ErrPeerLost)
+		}
+		return p, nil
+	}
+	select {
+	case p := <-ch:
+		return deliver(p)
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case p := <-ch:
+		return deliver(p)
+	case <-t.done:
+		select {
+		case p := <-ch:
+			return deliver(p)
+		default:
+			return nil, fmt.Errorf("cluster: recv %d->%d: %w", to, from, ErrClosed)
+		}
+	case <-timer.C:
+		select {
+		case p := <-ch:
+			return deliver(p)
+		default:
+			return nil, fmt.Errorf("cluster: recv %d->%d after %v: %w", to, from, timeout, ErrTimeout)
 		}
 	}
 }
@@ -381,6 +448,22 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(t.dialTimeout))
 	var hs [12]byte
 	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		// A connection that was accepted but never finished the handshake
+		// is a distinct failure from a refused dial: the peer is reachable
+		// but not speaking the protocol. Record a named error (the dial
+		// retry loop cannot see this side) instead of dying silently.
+		if !t.closed() {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				t.noteHandshakeErr(fmt.Errorf(
+					"cluster: node %d: connection from %s: %w after %v",
+					node, conn.RemoteAddr(), ErrHandshakeTimeout, t.dialTimeout))
+			} else {
+				t.noteHandshakeErr(fmt.Errorf(
+					"cluster: node %d: connection from %s: handshake read: %w",
+					node, conn.RemoteAddr(), err))
+			}
+		}
 		conn.Close()
 		return
 	}
@@ -432,6 +515,23 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 			return
 		}
 	}
+}
+
+// noteHandshakeErr records one accept-side handshake failure.
+func (t *TCPTransport) noteHandshakeErr(err error) {
+	t.hsMu.Lock()
+	t.hsErrs = append(t.hsErrs, err)
+	t.hsMu.Unlock()
+}
+
+// HandshakeErrors returns the accept-side handshake failures observed so
+// far: connections that were established but never delivered a valid
+// handshake frame. A peer that accepts-but-stalls surfaces here as an
+// error wrapping ErrHandshakeTimeout naming the remote address.
+func (t *TCPTransport) HandshakeErrors() []error {
+	t.hsMu.Lock()
+	defer t.hsMu.Unlock()
+	return append([]error(nil), t.hsErrs...)
 }
 
 // FreeLoopbackAddrs reserves n distinct loopback host:port addresses by

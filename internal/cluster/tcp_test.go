@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -598,5 +600,50 @@ func TestNodeValidation(t *testing.T) {
 	}
 	if err := nd.Serve(1); err == nil {
 		t.Error("Serve on a worker rank should error")
+	}
+}
+
+// TestHandshakeTimeoutNamed pins the accept-side diagnosis of a peer
+// that connects but never speaks: the transport must record a distinct
+// ErrHandshakeTimeout-wrapped error naming the remote address, instead
+// of silently dropping the connection (which looks identical to "peer
+// never dialed" from the outside).
+func TestHandshakeTimeoutNamed(t *testing.T) {
+	addrs, err := FreeLoopbackAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := NewTCPTransport(TCPConfig{Addrs: addrs, Local: []int{0}, DialTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	// A raw client that completes the TCP connect but sends no handshake
+	// bytes — a stray scanner, or a wedged peer process.
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	local := conn.LocalAddr().String()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		errs := tp.HandshakeErrors()
+		if len(errs) > 0 {
+			found := false
+			for _, e := range errs {
+				if errors.Is(e, ErrHandshakeTimeout) && strings.Contains(e.Error(), local) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("handshake errors %v wrap no ErrHandshakeTimeout naming %s", errs, local)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no handshake error recorded within 5s of a silent connection")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

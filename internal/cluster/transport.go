@@ -29,12 +29,24 @@
 // trainer's losses bit-for-bit. Node is the per-process counterpart:
 // one cluster node plus a Workers=1 Trainer per process reproduces the
 // same losses over TCP.
+//
+// The package also survives dead peers. Errors classify into a
+// recoverable class (ErrPeerLost, ErrTimeout — see Recoverable) and the
+// fatal local-shutdown class (ErrClosed); NodeConfig.StepTimeout bounds
+// every schedule receive, and NodeConfig.MaxStepRetries enables elastic
+// membership: survivors of a recoverable failure agree on the live
+// member set (a fixed-round mask exchange that doubles as a link drain),
+// re-run the step over the surviving group, and rescale the aggregate to
+// the survivor count. FaultTransport injects deterministic link/node
+// failures for tests, and dist's checkpointing restores a killed rank's
+// training state for rejoin.
 package cluster
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrClosed is wrapped by every transport error caused by Close rather
@@ -42,6 +54,38 @@ import (
 // shutdown (expected, e.g. the parameter-server loop draining) from a
 // genuine failure with errors.Is(err, ErrClosed).
 var ErrClosed = errors.New("transport closed")
+
+// ErrPeerLost is wrapped by transport errors caused by a remote peer
+// dying or dropping a link while the local transport stays healthy: the
+// TCP reader poisons a link whose connection broke, and FaultTransport
+// synthesizes the same failure on its deterministic kill schedule.
+// Unlike ErrClosed it is a *recoverable* condition — the surviving
+// members can renegotiate the group and retry the step.
+var ErrPeerLost = errors.New("peer lost")
+
+// ErrTimeout is wrapped by RecvTimeout errors caused by the deadline
+// expiring before a payload arrived. Like ErrPeerLost it classifies as
+// recoverable: a peer that stalls past the per-step timeout is treated
+// exactly like a dead one (it may be excluded and the step retried).
+var ErrTimeout = errors.New("receive timed out")
+
+// Recoverable reports whether a schedule error names a condition the
+// fault-tolerance layer can recover from by renegotiating membership
+// and retrying the step: a lost peer or a receive timeout. ErrClosed
+// (local shutdown) and validation errors are not recoverable.
+func Recoverable(err error) bool {
+	return errors.Is(err, ErrPeerLost) || errors.Is(err, ErrTimeout)
+}
+
+// TimeoutRecver is the optional Transport capability the per-step
+// timeout rides on: RecvTimeout behaves like Recv but fails with an
+// error wrapping ErrTimeout once the timeout elapses with no payload
+// deliverable. A timed-out call consumes nothing — a payload arriving
+// later stays queued for the next receive, preserving per-link FIFO.
+// Both ChanTransport and TCPTransport implement it.
+type TimeoutRecver interface {
+	RecvTimeout(to, from int, timeout time.Duration) ([]byte, error)
+}
 
 // Transport moves opaque byte payloads between numbered nodes over
 // directed links. Implementations must preserve per-link FIFO order.
@@ -169,6 +213,40 @@ func (t *ChanTransport) Recv(to, from int) ([]byte, error) {
 			return p, nil
 		default:
 			return nil, fmt.Errorf("cluster: recv %d->%d: %w", to, from, ErrClosed)
+		}
+	}
+}
+
+// RecvTimeout implements TimeoutRecver with the same deterministic
+// delivery preference as Recv: a payload already in the link wins over
+// both the shutdown error and the timeout.
+func (t *ChanTransport) RecvTimeout(to, from int, timeout time.Duration) ([]byte, error) {
+	if err := t.check(from, to); err != nil {
+		return nil, err
+	}
+	select {
+	case p := <-t.links[from][to]:
+		return p, nil
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case p := <-t.links[from][to]:
+		return p, nil
+	case <-t.done:
+		select {
+		case p := <-t.links[from][to]:
+			return p, nil
+		default:
+			return nil, fmt.Errorf("cluster: recv %d->%d: %w", to, from, ErrClosed)
+		}
+	case <-timer.C:
+		select {
+		case p := <-t.links[from][to]:
+			return p, nil
+		default:
+			return nil, fmt.Errorf("cluster: recv %d->%d after %v: %w", to, from, timeout, ErrTimeout)
 		}
 	}
 }

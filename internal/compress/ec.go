@@ -134,6 +134,21 @@ func (e *ErrorFeedback) CompressInto(dst *tensor.Sparse, g []float64, delta floa
 // modify it.
 func (e *ErrorFeedback) Residual() []float64 { return e.residual }
 
+// RestoreResidual overwrites the carried residual with a checkpointed
+// copy — the resume hook of dist's checkpointing. Nil or empty resets
+// to the lazily-initialised zero state.
+func (e *ErrorFeedback) RestoreResidual(r []float64) {
+	if len(r) == 0 {
+		e.residual = nil
+		e.buf = nil
+		return
+	}
+	e.residual = append(e.residual[:0], r...)
+	if len(e.buf) != len(r) {
+		e.buf = make([]float64, len(r))
+	}
+}
+
 // Reset clears the residual, e.g. between independent training runs.
 func (e *ErrorFeedback) Reset() {
 	if e.residual != nil {

@@ -16,6 +16,13 @@
 // real message-passing collectives over a Transport without the Trainer
 // noticing (bit-identically, for the order-preserving collectives over a
 // lossless wire format).
+//
+// Checkpoint captures a Trainer's deterministic-resume state — weights,
+// per-worker error-feedback residuals, and the RNG stream positions
+// (reconstructed by replay) — so a restarted process continues
+// bit-identically to a run that never stopped, within the documented
+// stateless-optimizer/EC-only-compressor scope. See Trainer.Checkpoint,
+// Trainer.Restore and SaveCheckpoint/LoadCheckpoint.
 package dist
 
 import (
