@@ -632,10 +632,10 @@ func checkMetricsEndpoint(addr string, nd *cluster.Node, wantMsgs int) error {
 	var linkSent, linkRecv float64
 	for name, v := range vals {
 		if strings.HasPrefix(name, "sidco_link_sent_bytes_total{") {
-			linkSent += v
+			linkSent += v //sidco:nondet byte counters are integral, float addition of them is exact in any order
 		}
 		if strings.HasPrefix(name, "sidco_link_recv_bytes_total{") {
-			linkRecv += v
+			linkRecv += v //sidco:nondet byte counters are integral, float addition of them is exact in any order
 		}
 	}
 	if linkSent != float64(sentBytes) || linkRecv != float64(recvBytes) {
@@ -778,7 +778,7 @@ func runLaunch(opt options) error {
 	expectedKill := func(c *child) bool {
 		return c.rank == killR && exitStatus(c.err) == killExitCode
 	}
-	watchdog := time.After(opt.launchTimeout)
+	watchdog := time.After(opt.launchTimeout) //sidco:nondet process-supervision timeout, not training state
 	failed, timedOut, interrupted := 0, false, false
 	for collected := 0; collected < nodes; {
 		select {

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the analysistest harness: golden packages under
+// testdata/src/<name> carry `// want "regex"` comments on the lines
+// where an analyzer must report, and runGolden checks the two-way
+// match — every want claims a diagnostic on its line, every diagnostic
+// is claimed by a want. The block form (/* want "..." */) exists so a
+// want can share a line with a trailing //sidco: directive.
+
+// expectation is one want assertion: a regexp that must match a
+// diagnostic message on the given line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// collectWants parses every want comment of a golden package. Multiple
+// quoted patterns after one `want` each assert a separate diagnostic
+// on the same line.
+func collectWants(t *testing.T, pkg *Package) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimPrefix(text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest = strings.TrimSpace(rest)
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %q: %v", pos.Filename, pos.Line, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads testdata/src/<name> as one package, runs a single
+// analyzer over it, and verifies the diagnostics against the golden
+// want comments.
+func runGolden(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("loading golden package %s: %v", name, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, name, err)
+	}
+	type lineKey struct {
+		file string
+		line int
+	}
+	pending := make(map[lineKey][]Diagnostic)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		pending[k] = append(pending[k], d)
+	}
+	for _, w := range collectWants(t, pkg) {
+		k := lineKey{w.file, w.line}
+		ds := pending[k]
+		hit := -1
+		for i, d := range ds {
+			if w.re.MatchString(d.Message) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			t.Errorf("%s:%d: no %s diagnostic matching %q (unclaimed on this line: %v)",
+				w.file, w.line, a.Name, w.raw, messages(ds))
+			continue
+		}
+		pending[k] = append(ds[:hit:hit], ds[hit+1:]...)
+	}
+	for k, ds := range pending {
+		for _, d := range ds {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", k.file, k.line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+func messages(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Message
+	}
+	return out
+}

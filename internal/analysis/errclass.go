@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// errclassSentinels are the classified transport sentinels the retry
+// logic dispatches on: ErrPeerLost and ErrTimeout are recoverable
+// (re-dial, re-admit, retry the step), ErrClosed and
+// ErrHandshakeTimeout are fatal. The analyzer activates only in
+// packages that declare at least one of them — internal/cluster in
+// this repo, and the golden testdata packages in the analyzer's own
+// tests.
+var errclassSentinels = map[string]bool{
+	"ErrPeerLost":         true,
+	"ErrTimeout":          true,
+	"ErrClosed":           true,
+	"ErrHandshakeTimeout": true,
+}
+
+// ErrclassAnalyzer enforces the error taxonomy of the classified
+// packages: an error returned to a caller must be classifiable —
+// errors.Is must be able to reach one of the sentinels, or the error
+// must carry an Unwrap chain a caller can walk. Concretely, a return
+// may produce:
+//
+//   - nil, a sentinel, or a propagated error value (ident, field,
+//     call result) — classification is the producer's problem;
+//   - fmt.Errorf wrapping an error operand with %w;
+//   - a value of a type that has an Unwrap() error method.
+//
+// What it flags is freshly minted opaque errors: errors.New, and
+// fmt.Errorf with no %w-wrapped error operand. Those defeat the
+// recoverable-vs-fatal split that drives retry (a step failure that is
+// really a lost peer must surface as ErrPeerLost, or the harness
+// aborts a recoverable run). Deliberate opaque errors — programmer-
+// misuse reports, config validation — carry `//sidco:errclass
+// <reason>` on the line or in the function's doc comment.
+var ErrclassAnalyzer = &Analyzer{
+	Name: "errclass",
+	Doc: "check that errors returned from classified packages wrap " +
+		"ErrPeerLost/ErrTimeout/ErrClosed/ErrHandshakeTimeout or carry an Unwrap chain",
+	Run: runErrclass,
+}
+
+func runErrclass(pass *Pass) error {
+	if !declaresSentinel(pass) {
+		return nil
+	}
+	checkDirectiveReasons(pass, "errclass")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !returnsError(pass, fn) {
+				continue
+			}
+			checkErrclassBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// declaresSentinel reports whether the package declares a package-level
+// error variable named like one of the classified sentinels.
+func declaresSentinel(pass *Pass) bool {
+	if pass.Pkg == nil {
+		return false
+	}
+	scope := pass.Pkg.Scope()
+	for name := range errclassSentinels {
+		if obj, ok := scope.Lookup(name).(*types.Var); ok && isErrorType(obj.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether fn's signature includes an error result.
+func returnsError(pass *Pass, fn *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := obj.Type().(*types.Signature).Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkErrclassBody flags every return whose error operand is a fresh
+// unclassified error. Closure bodies are walked too: a schedule step
+// returning an opaque error through a closure is just as fatal.
+func checkErrclassBody(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if !isErrorLike(pass.TypeOf(res)) {
+				continue
+			}
+			if reason := unclassified(pass, res); reason != "" &&
+				!pass.suppressed(res.Pos(), fn, "errclass") {
+				pass.Reportf(res.Pos(),
+					"%s: wrap a classified sentinel with %%w (ErrPeerLost/ErrTimeout recoverable, ErrClosed/ErrHandshakeTimeout fatal) or annotate //sidco:errclass <reason>",
+					reason)
+			}
+		}
+		return true
+	})
+}
+
+// unclassified reports why expr mints an error no caller can classify,
+// or "" if the expression is fine.
+func unclassified(pass *Pass, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return "" // conversion or local helper: producer's problem
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return ""
+		}
+		switch {
+		case obj.Pkg().Path() == "errors" && obj.Name() == "New":
+			return "errors.New returns an unclassified error"
+		case obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf":
+			if errorfWraps(pass, e) {
+				return ""
+			}
+			return "fmt.Errorf without %w wrapping an error operand returns an unclassified error"
+		}
+		return ""
+	case *ast.UnaryExpr:
+		if lit, ok := e.X.(*ast.CompositeLit); ok {
+			return unclassifiedLit(pass, lit)
+		}
+	case *ast.CompositeLit:
+		return unclassifiedLit(pass, e)
+	}
+	return "" // idents, fields, indexes: propagation
+}
+
+// unclassifiedLit reports a composite-literal error whose type has no
+// Unwrap() error method — callers cannot walk past it to a sentinel.
+func unclassifiedLit(pass *Pass, lit *ast.CompositeLit) string {
+	t := pass.TypeOf(lit)
+	if t == nil || hasUnwrap(t) || hasUnwrap(types.NewPointer(t)) {
+		return ""
+	}
+	return "error type " + t.String() + " has no Unwrap method"
+}
+
+// errorfWraps reports whether a fmt.Errorf call wraps an error operand
+// with a %w verb. Both halves are required: %w with no error operand
+// is malformed, and an error operand under %v breaks errors.Is.
+func errorfWraps(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	hasErrOperand := false
+	for _, arg := range call.Args[1:] {
+		if isErrorType(pass.TypeOf(arg)) {
+			hasErrOperand = true
+			break
+		}
+	}
+	if !hasErrOperand {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		// Non-constant format string: assume the caller knows what it
+		// is doing — it passed an error operand.
+		return true
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}
+
+// hasUnwrap reports whether t's method set includes Unwrap() error or
+// Unwrap() []error.
+func hasUnwrap(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || f.Name() != "Unwrap" {
+			continue
+		}
+		sig := f.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		rt := sig.Results().At(0).Type()
+		if isErrorType(rt) {
+			return true
+		}
+		if sl, ok := rt.Underlying().(*types.Slice); ok && isErrorType(sl.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorLike reports whether t is the error interface or a concrete
+// type implementing it — a `return &someErr{...}` has the concrete
+// type as its static type, and must be checked too.
+func isErrorLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isErrorType(t) {
+		return true
+	}
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return ok && types.Implements(t, iface)
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}

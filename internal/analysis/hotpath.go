@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAnalyzer statically audits the zero-allocation contract of
+// functions marked `//sidco:hotpath` — the CompressInto / EncodeTo /
+// DecodeInto / Step / schedule-runner paths whose steady state the
+// AllocsPerRun tests pin at zero. The runtime guards only see the
+// branches a test exercises; this check walks every branch, error
+// paths included, and flags the allocation sources Go hides in plain
+// syntax:
+//
+//   - closure literals and `go` statements;
+//   - make, new, and slice/map composite literals (&T{...} included);
+//   - fmt.* and errors.New constructors, string concatenation, and
+//     string<->[]byte/[]rune conversions;
+//   - interface boxing: a non-pointer-shaped concrete value passed or
+//     assigned where an interface is expected;
+//   - append whose destination is not persistent scratch (a struct
+//     field, or a local derived from one): appending into a fresh
+//     local grows a throwaway backing array.
+//
+// The check is intraprocedural: calls into other functions are trusted
+// (annotate them too if they are on the path — the AllocsPerRun tests
+// remain the cross-procedural backstop). Deliberate allocations — a
+// one-time ring growth, an error path that is allowed to cost — carry
+// `//sidco:alloc <reason>` on or above the line.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc: "check //sidco:hotpath functions for allocation sources on every " +
+		"branch, including error branches runtime guards never execute",
+	Run: runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	checkDirectiveReasons(pass, "alloc")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := FuncDirective(fn, "hotpath"); !ok {
+				continue
+			}
+			checkHotpathBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// hotpathCtx carries per-function state: which locals are scratch
+// (derived from struct fields, so appends to them are amortized).
+type hotpathCtx struct {
+	pass    *Pass
+	fn      *ast.FuncDecl
+	scratch map[types.Object]bool
+}
+
+func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
+	ctx := &hotpathCtx{pass: pass, fn: fn, scratch: map[types.Object]bool{}}
+	ctx.collectScratch()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ctx.report(n.Pos(), "closure literal allocates (hoist to a method or package function)")
+			return false // the closure body is not the hot path's own frame
+		case *ast.GoStmt:
+			ctx.report(n.Pos(), "go statement allocates goroutine bookkeeping")
+		case *ast.CompositeLit:
+			ctx.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					ctx.report(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypeOf(n)) {
+				ctx.report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			ctx.checkCall(n)
+		}
+		return true
+	})
+}
+
+// collectScratch records locals initialised or reassigned from an
+// expression rooted at a struct-field selector (the `b := s.buf[:0]`
+// reuse idiom) — appends that land back in such storage are amortized
+// and allocation-free in steady state.
+func (ctx *hotpathCtx) collectScratch() {
+	// Receiver-rooted scratch propagates through chained assignments,
+	// so iterate to a fixed point (function bodies are small).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(ctx.fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := ctx.pass.TypesInfo.ObjectOf(id)
+				if obj == nil || ctx.scratch[obj] {
+					continue
+				}
+				if ctx.fieldRooted(as.Rhs[i]) {
+					ctx.scratch[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldRooted reports whether expr derives from a struct-field
+// selector or an already-known scratch local, through slicing, index,
+// append and paren chains.
+func (ctx *hotpathCtx) fieldRooted(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := ctx.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+	case *ast.Ident:
+		obj := ctx.pass.TypesInfo.ObjectOf(e)
+		return obj != nil && ctx.scratch[obj]
+	case *ast.SliceExpr:
+		return ctx.fieldRooted(e.X)
+	case *ast.IndexExpr:
+		return ctx.fieldRooted(e.X)
+	case *ast.ParenExpr:
+		return ctx.fieldRooted(e.X)
+	case *ast.CallExpr:
+		if isBuiltinAppend(ctx.pass, e) && len(e.Args) > 0 {
+			return ctx.fieldRooted(e.Args[0])
+		}
+	}
+	return false
+}
+
+func (ctx *hotpathCtx) checkCompositeLit(lit *ast.CompositeLit) {
+	t := ctx.pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		ctx.report(lit.Pos(), "slice literal allocates its backing array")
+	case *types.Map:
+		ctx.report(lit.Pos(), "map literal allocates")
+	}
+}
+
+func (ctx *hotpathCtx) checkCall(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch obj := ctx.pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make":
+				ctx.report(call.Pos(), "make allocates")
+			case "new":
+				ctx.report(call.Pos(), "new allocates")
+			case "append":
+				ctx.checkAppend(call)
+			}
+			return
+		case *types.TypeName:
+			ctx.checkConversion(call, obj.Type())
+			return
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := ctx.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "fmt":
+				ctx.report(call.Pos(), "fmt.%s allocates (format machinery + boxed arguments)", obj.Name())
+				return
+			case "errors":
+				if obj.Name() == "New" {
+					ctx.report(call.Pos(), "errors.New allocates; hoist to a package-level sentinel")
+					return
+				}
+			}
+		}
+		// A selector can also be a type conversion via a package-qualified
+		// type; resolve through Uses.
+		if tn, ok := ctx.pass.TypesInfo.Uses[fun.Sel].(*types.TypeName); ok {
+			ctx.checkConversion(call, tn.Type())
+			return
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.InterfaceType:
+		if t := ctx.pass.TypeOf(call.Fun); t != nil {
+			ctx.checkConversion(call, t)
+			return
+		}
+	}
+	ctx.checkBoxedArgs(call)
+}
+
+// checkConversion flags conversions that copy memory: string <->
+// []byte/[]rune, and conversions to interface types (boxing).
+func (ctx *hotpathCtx) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 || to == nil {
+		return
+	}
+	from := ctx.pass.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	switch {
+	case isString(to) && isByteOrRuneSlice(from):
+		ctx.report(call.Pos(), "[]byte/[]rune-to-string conversion allocates")
+	case isByteOrRuneSlice(to) && isString(from):
+		ctx.report(call.Pos(), "string-to-slice conversion allocates")
+	case types.IsInterface(to) && !types.IsInterface(from) && !pointerShaped(from):
+		ctx.report(call.Pos(), "conversion to interface boxes a %s on the heap", from.String())
+	}
+}
+
+// checkAppend flags appends whose destination is not persistent
+// scratch: growth lands in a fresh backing array every call.
+func (ctx *hotpathCtx) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if ctx.fieldRooted(call.Args[0]) {
+		return
+	}
+	ctx.report(call.Pos(), "append to a non-scratch slice allocates its growth (reuse field-backed storage)")
+}
+
+// checkBoxedArgs flags non-interface, non-pointer-shaped arguments
+// passed to interface parameters — implicit boxing that heap-allocates
+// the value.
+func (ctx *hotpathCtx) checkBoxedArgs(call *ast.CallExpr) {
+	sigT := ctx.pass.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := ctx.pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if tv, ok := ctx.pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+			continue // constants may be boxed from read-only statics
+		}
+		ctx.report(arg.Pos(), "passing %s to an interface parameter boxes it on the heap", at.String())
+	}
+}
+
+func (ctx *hotpathCtx) report(pos token.Pos, format string, args ...any) {
+	if ctx.pass.suppressed(pos, nil, "alloc") {
+		return
+	}
+	ctx.pass.Reportf(pos, format, args...)
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without heap allocation: pointers, channels, maps, functions and
+// unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

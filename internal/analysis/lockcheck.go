@@ -1,0 +1,468 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockcheckAnalyzer ties struct fields annotated `// guarded by <mu>`
+// to the named sibling mutex. An access to a guarded field is legal
+// only while the mutex is held: a Lock/RLock call on a path reaching
+// the access, with no intervening Unlock/RUnlock (deferred unlocks
+// hold to function end, and an unlock followed by return does not
+// leak into the fall-through path).
+//
+// The analysis is a branch-aware, intraprocedural walk — the cheap 90%
+// of lock discipline; the -race test matrix remains the runtime
+// backstop. Functions documented to run with the lock already held
+// declare it with `//sidco:locked <mu> <reason>` in their doc comment;
+// individual accesses that are safe without the lock (reading an
+// immutable slice header, a constructor before publication) carry
+// `//sidco:nolock <reason>` on or above the line.
+var LockcheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc: "check that fields annotated `// guarded by <mu>` are only " +
+		"accessed while the named mutex is held",
+	Run: runLockcheck,
+}
+
+func runLockcheck(pass *Pass) error {
+	checkDirectiveReasons(pass, "nolock")
+	guards := guardedObjects(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass, fn: fn, guards: guards}
+			held := make(heldSet)
+			if d, ok := FuncDirective(fn, "locked"); ok && d.Arg != "" {
+				// `//sidco:locked <mu> [why]`: the caller holds <mu>
+				// for the whole function body.
+				mu := d.Arg
+				if i := strings.IndexAny(mu, " \t"); i >= 0 {
+					mu = mu[:i]
+				}
+				held[lockKey{nil, mu}] = 1
+			}
+			w.walkBlock(fn.Body, held)
+		}
+	}
+	return nil
+}
+
+// guardedObjects resolves the `// guarded by <mu>` field annotations to
+// their types.Var objects so uses match through any selector spelling.
+func guardedObjects(pass *Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for field, mu := range guardedFields(pass) {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = mu
+			}
+		}
+	}
+	return out
+}
+
+// lockKey identifies one held mutex: the object of the base identifier
+// the mutex hangs off (receiver, local, or the mutex variable itself)
+// plus the mutex name. A nil base stands for "any receiver", used by
+// function-level //sidco:locked directives.
+type lockKey struct {
+	base types.Object
+	mu   string
+}
+
+// heldSet counts how many times each mutex is held on the current path.
+type heldSet map[lockKey]int
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// merge keeps, for each key, the minimum of the two path states: after
+// a branch, a mutex only counts as held if every surviving path holds it.
+func (h heldSet) merge(o heldSet) heldSet {
+	m := make(heldSet)
+	for k, v := range h {
+		if ov := o[k]; ov < v {
+			v = ov
+		}
+		if v > 0 {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+// lockWalker is a branch-aware interpreter of one function body that
+// tracks the held-mutex set along each path.
+type lockWalker struct {
+	pass   *Pass
+	fn     *ast.FuncDecl
+	guards map[types.Object]string
+}
+
+// walkBlock processes stmts in order against held (mutated in place),
+// returning true if the block always terminates (return, branch,
+// panic) before falling off the end.
+func (w *lockWalker) walkBlock(block *ast.BlockStmt, held heldSet) bool {
+	if block == nil {
+		return false
+	}
+	return w.walkStmts(block.List, held)
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held heldSet) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, held) {
+			return true // statements after a terminator are dead code
+		}
+	}
+	return false
+}
+
+// walkStmt processes one statement, returning true if it always
+// terminates the enclosing path.
+func (w *lockWalker) walkStmt(s ast.Stmt, held heldSet) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		return w.walkBlock(s, held)
+	case *ast.ExprStmt:
+		w.walkExpr(s.X, held)
+		return isPanicCall(w.pass, s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.walkExpr(r, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto leave this path
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return, after every access in
+		// the body — it must not clear the held set. A deferred FuncLit
+		// is checked as its own context.
+		for _, arg := range s.Call.Args {
+			w.walkExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkClosure(lit)
+		}
+		return false
+	case *ast.GoStmt:
+		// The spawned function runs concurrently: its body gets a
+		// fresh held set.
+		for _, arg := range s.Call.Args {
+			w.walkExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkClosure(lit)
+		}
+		return false
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held)
+		w.walkExpr(s.Cond, held)
+		bodyHeld := held.clone()
+		bodyTerm := w.walkBlock(s.Body, bodyHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseHeld)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			replace(held, elseHeld)
+		case elseTerm:
+			replace(held, bodyHeld)
+		default:
+			replace(held, bodyHeld.merge(elseHeld))
+		}
+		return false
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, held)
+		w.walkExpr(s.Cond, held)
+		// The loop body starts from the pre-loop state; its lock
+		// effects do not reliably persist past the loop.
+		bodyHeld := held.clone()
+		w.walkBlock(s.Body, bodyHeld)
+		w.walkStmt(s.Post, bodyHeld)
+		return false
+	case *ast.RangeStmt:
+		w.walkExpr(s.X, held)
+		bodyHeld := held.clone()
+		w.walkBlock(s.Body, bodyHeld)
+		return false
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.walkExpr(s.Tag, held)
+		return w.walkCases(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.walkStmt(s.Assign, held)
+		return w.walkCases(s.Body, held)
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.walkExpr(r, held)
+		}
+		for _, l := range s.Lhs {
+			w.walkExpr(l, held)
+		}
+		return false
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X, held)
+		return false
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan, held)
+		w.walkExpr(s.Value, held)
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, held)
+					}
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// walkCases processes a switch/select body: each clause runs from a
+// copy of the entry state; afterwards a mutex is held only if every
+// non-terminating clause (and the implicit no-default fall-through)
+// holds it.
+func (w *lockWalker) walkCases(body *ast.BlockStmt, held heldSet) bool {
+	if body == nil {
+		return false
+	}
+	var exits []heldSet
+	hasDefault := false
+	allTerm := true
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				w.walkExpr(e, held)
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+			clauseHeld := held.clone()
+			w.walkStmt(cs.Comm, clauseHeld)
+			if !w.walkStmts(cs.Body, clauseHeld) {
+				exits = append(exits, clauseHeld)
+				allTerm = false
+			}
+			continue
+		default:
+			continue
+		}
+		clauseHeld := held.clone()
+		if !w.walkStmts(stmts, clauseHeld) {
+			exits = append(exits, clauseHeld)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, held.clone())
+		allTerm = false
+	}
+	if allTerm {
+		return true
+	}
+	post := exits[0]
+	for _, e := range exits[1:] {
+		post = post.merge(e)
+	}
+	replace(held, post)
+	return false
+}
+
+// walkClosure checks a func literal as its own locking context: locks
+// held where the closure is created may be released before it runs.
+func (w *lockWalker) walkClosure(lit *ast.FuncLit) {
+	w.walkBlock(lit.Body, make(heldSet))
+}
+
+// walkExpr scans one expression tree for lock operations (updating
+// held) and guarded-field uses (checked against held). Nested func
+// literals become independent contexts.
+func (w *lockWalker) walkExpr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkClosure(n)
+			return false
+		case *ast.CallExpr:
+			if base, mu, op, ok := lockCall(w.pass, n); ok {
+				key := lockKey{base, mu}
+				switch op {
+				case "Lock", "RLock":
+					held[key]++
+				case "Unlock", "RUnlock":
+					if held[key] > 0 {
+						held[key]--
+					}
+				}
+				return false // don't treat s.mu in s.mu.Lock() as an access
+			}
+		case *ast.SelectorExpr:
+			w.checkGuardedUse(n, held)
+		}
+		return true
+	})
+}
+
+// checkGuardedUse reports a selector that resolves to a guarded field
+// while its mutex is not in the held set.
+func (w *lockWalker) checkGuardedUse(sel *ast.SelectorExpr, held heldSet) {
+	obj := w.pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	mu, guarded := w.guards[obj]
+	if !guarded {
+		return
+	}
+	// A lock on the same mutex name counts regardless of the base
+	// expression shape: lexical analysis cannot prove receiver aliasing
+	// either way, and the -race matrix backs this up at runtime.
+	for key, n := range held {
+		if n > 0 && key.mu == mu {
+			return
+		}
+	}
+	if w.pass.suppressed(sel.Pos(), w.fn, "nolock") {
+		return
+	}
+	w.pass.Reportf(sel.Pos(),
+		"%s.%s is guarded by %s, which is not held here (lock it, or annotate //sidco:nolock <reason> / //sidco:locked %s <reason>)",
+		exprString(sel.X), sel.Sel.Name, mu, mu)
+}
+
+// replace overwrites dst's contents with src's.
+func replace(dst, src heldSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// lockCall decodes a call of the form <base>.<mu>.Lock() (or
+// RLock/Unlock/RUnlock), returning the base object, the mutex field
+// name and the operation. It also accepts <mu>.Lock() where <mu> is a
+// plain ident (package-level or local mutex): base is then the mutex
+// object itself and mu its name.
+func lockCall(pass *Pass, call *ast.CallExpr) (base types.Object, mu, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", "", false
+	}
+	if !isMutexType(pass.TypeOf(sel.X)) {
+		return nil, "", "", false
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr: // s.mu.Lock()
+		mu = x.Sel.Name
+		if id, isID := x.X.(*ast.Ident); isID {
+			base = pass.TypesInfo.ObjectOf(id)
+		}
+		return base, mu, op, true
+	case *ast.Ident: // mu.Lock()
+		obj := pass.TypesInfo.ObjectOf(x)
+		return obj, x.Name, op, true
+	}
+	return nil, "", "", false
+}
+
+// isMutexType reports whether t is sync.Mutex/sync.RWMutex (or a
+// pointer to one).
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// exprString renders a simple selector base for the diagnostic.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "<expr>"
+}

@@ -1,0 +1,91 @@
+// Package determinism is the golden corpus for the determinism
+// analyzer: every want comment pins a finding the analyzer must
+// produce, everything else must stay silent.
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func annotatedClock() time.Duration {
+	start := time.Now()      //sidco:nondet benchmark measurement, reporting only
+	return time.Since(start) //sidco:nondet benchmark measurement, reporting only
+}
+
+// funcWideClock is covered whole by its function-level directive.
+//
+//sidco:nondet deadline bookkeeping, never feeds training math
+func funcWideClock() (time.Time, *time.Timer) {
+	return time.Now(), time.NewTimer(time.Second)
+}
+
+func sleepIsFine() {
+	time.Sleep(time.Millisecond)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn draws from the shared unseeded stream`
+}
+
+// seededRand is the blessed idiom: the seed is explicit, methods on a
+// *rand.Rand are deterministic given it.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation inside map iteration is order-dependent`
+	}
+	return sum
+}
+
+// mapIntSum is exempt: integer addition is exact, so it commutes.
+func mapIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func mapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside map iteration builds a randomly-ordered result`
+	}
+	return keys
+}
+
+// mapCollectThenSort is the recognised deterministic idiom: the
+// appended slice is sorted after the loop.
+func mapCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapPrint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf inside map iteration writes output in random order`
+	}
+}
+
+func mapSend(ch chan<- string, m map[string]int) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration emits values in random order`
+	}
+}

@@ -1,0 +1,77 @@
+// Package errclass is the golden corpus for the errclass analyzer. It
+// declares classified sentinels, so the analyzer self-scopes to it:
+// every returned error must be classifiable (nil, propagation, a %w
+// wrap, or a type with an Unwrap method) or carry a reasoned
+// exemption.
+package errclass
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrPeerLost is the recoverable-class sentinel.
+	ErrPeerLost = errors.New("errclass: peer lost")
+	// ErrClosed is the fatal-class sentinel.
+	ErrClosed = errors.New("errclass: closed")
+)
+
+func wrapSentinel(peer int) error {
+	return fmt.Errorf("errclass: recv from %d: %w", peer, ErrPeerLost)
+}
+
+func returnSentinel() error {
+	return ErrClosed
+}
+
+func fresh() error {
+	return errors.New("errclass: boom") // want `errors\.New returns an unclassified error`
+}
+
+func opaqueErrorf(n int) error {
+	return fmt.Errorf("errclass: bad geometry %d", n) // want `fmt\.Errorf without %w wrapping an error operand`
+}
+
+func exemptLine(n int) error {
+	return fmt.Errorf("errclass: %d chunks for %d nodes", n, n) //sidco:errclass caller misuse, deliberately fatal
+}
+
+// exemptFunc validates configuration; its opaque errors are fatal by
+// design and the function-level directive covers them all.
+//
+//sidco:errclass config validation, fatal by design
+func exemptFunc(n int) error {
+	if n < 0 {
+		return errors.New("errclass: negative")
+	}
+	return fmt.Errorf("errclass: odd %d", n)
+}
+
+// propagate returns an existing error value: classification is the
+// producer's problem.
+func propagate(err error) error {
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+type wrapped struct{ inner error }
+
+func (w *wrapped) Error() string { return "wrapped: " + w.inner.Error() }
+func (w *wrapped) Unwrap() error { return w.inner }
+
+// viaType is classifiable: *wrapped has an Unwrap chain callers can
+// walk to a sentinel.
+func viaType(inner error) error {
+	return &wrapped{inner: inner}
+}
+
+type opaque struct{ msg string }
+
+func (o *opaque) Error() string { return o.msg }
+
+func viaOpaqueType() error {
+	return &opaque{msg: "errclass: nope"} // want `error type errclass\.opaque has no Unwrap method`
+}

@@ -1,0 +1,82 @@
+// Package hotpath is the golden corpus for the hotpath analyzer: only
+// functions marked //sidco:hotpath are checked, and inside them every
+// syntactic allocation source must fire unless a reasoned //sidco:alloc
+// covers it.
+package hotpath
+
+import (
+	"errors"
+	"fmt"
+)
+
+type enc struct {
+	scratch []byte
+}
+
+// cold is unmarked: allocation is unconstrained off the hot path.
+func cold(n int) []byte {
+	return make([]byte, n)
+}
+
+func sink(v any) { _ = v }
+
+// hot is the positive corpus: one finding per allocation source.
+//
+//sidco:hotpath
+func hot(e *enc, n int, s string, f func()) error {
+	b := make([]byte, n) // want `make allocates`
+	p := new(int)        // want `new allocates`
+	_ = append(b, 0)     // want `append to a non-scratch slice allocates its growth`
+	_ = s + s            // want `string concatenation allocates`
+	_ = []byte(s)        // want `string-to-slice conversion allocates`
+	_ = string(b)        // want `\[\]byte/\[\]rune-to-string conversion allocates`
+	_ = []int{1, 2}      // want `slice literal allocates its backing array`
+	_ = map[int]int{}    // want `map literal allocates`
+	_ = &enc{}           // want `&composite literal escapes to the heap`
+	cb := func() {}      // want `closure literal allocates`
+	go f()               // want `go statement allocates goroutine bookkeeping`
+	_ = cb
+	_ = p
+	if n < 0 {
+		return fmt.Errorf("hotpath: negative %d", n) // want `fmt\.Errorf allocates \(format machinery \+ boxed arguments\)`
+	}
+	return errors.New("hotpath: done") // want `errors\.New allocates; hoist to a package-level sentinel`
+}
+
+// boxing: interface conversions and interface-typed parameters box
+// non-pointer-shaped values; pointers and constants do not.
+//
+//sidco:hotpath
+func boxes(e *enc, n int) any {
+	sink(n)       // want `passing int to an interface parameter boxes it on the heap`
+	sink(e)       // pointer-shaped: fits the interface word
+	sink(42)      // constant: boxed from a read-only static
+	return any(n) // want `conversion to interface boxes a int on the heap`
+}
+
+// appendScratch is the blessed reuse idiom: the append lands in
+// field-backed storage, so growth amortizes to zero.
+//
+//sidco:hotpath
+func appendScratch(e *enc, v byte) {
+	b := e.scratch[:0]
+	b = append(b, v)
+	e.scratch = b
+}
+
+// lazyInit carries a reasoned exemption for its one-time growth.
+//
+//sidco:hotpath
+func lazyInit(e *enc, n int) {
+	if cap(e.scratch) < n {
+		e.scratch = make([]byte, n) //sidco:alloc one-time growth to the high-water mark
+	}
+}
+
+// malformed shows that an exemption without a reason suppresses
+// nothing and is itself reported.
+//
+//sidco:hotpath
+func malformed(n int) []byte {
+	return make([]byte, n) /* want `make allocates` `sidco:alloc directive is missing its reason` */ //sidco:alloc
+}

@@ -1,0 +1,73 @@
+// Package lockcheck is the golden corpus for the lockcheck analyzer:
+// fields annotated `// guarded by mu` may only be touched while the
+// named mutex is held on every surviving path.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by mu
+}
+
+func bad(c *counter) int {
+	return c.n // want `c\.n is guarded by mu, which is not held here`
+}
+
+func good(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// deferredUnlock releases at return, after every access in the body.
+func deferredUnlock(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n > 0 {
+		return c.n
+	}
+	return c.m
+}
+
+func earlyUnlock(c *counter) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n + c.n // want `c\.n is guarded by mu, which is not held here`
+}
+
+// unlockOnReturningBranch: the branch that released the lock left the
+// function, so the fall-through path still holds it.
+func unlockOnReturningBranch(c *counter, fast bool) int {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// unlockOnFallthroughBranch: one surviving path released the lock, so
+// after the merge the mutex no longer counts as held.
+func unlockOnFallthroughBranch(c *counter, fast bool) int {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+	}
+	return c.n // want `c\.n is guarded by mu, which is not held here`
+}
+
+// lockedCaller runs with the mutex already held by its caller.
+//
+//sidco:locked mu caller holds the lock across the whole batch
+func lockedCaller(c *counter) int {
+	return c.n + c.m
+}
+
+func nolockRead(c *counter) int {
+	return c.n //sidco:nolock approximate stats read, staleness is acceptable
+}

@@ -104,6 +104,9 @@ func PSServe(tp Transport, server, n int, combine func(worker int, payload []byt
 		func(_, worker int, payload []byte) error { return combine(worker, payload) }, reply)
 }
 
+// checkNode validates a schedule call's node arguments.
+//
+//sidco:errclass caller-misuse validation, deliberately fatal
 func checkNode(tp Transport, node, n int) error {
 	if n < 1 || n > tp.Nodes() {
 		return fmt.Errorf("cluster: %d participants on a %d-node transport", n, tp.Nodes())
@@ -124,6 +127,7 @@ func f64Bytes(xs []float64) []byte {
 	return buf
 }
 
+//sidco:errclass geometry violation means a buggy peer, deliberately fatal
 func f64Add(dst []float64, buf []byte) error {
 	if len(buf) != 8*len(dst) {
 		return fmt.Errorf("payload %d bytes, want %d", len(buf), 8*len(dst))
@@ -134,6 +138,7 @@ func f64Add(dst []float64, buf []byte) error {
 	return nil
 }
 
+//sidco:errclass geometry violation means a buggy peer, deliberately fatal
 func f64Copy(dst []float64, buf []byte) error {
 	if len(buf) != 8*len(dst) {
 		return fmt.Errorf("payload %d bytes, want %d", len(buf), 8*len(dst))

@@ -12,8 +12,11 @@ import (
 // a split deployment need the per-rank timeline.
 var debugOn = os.Getenv("SIDCO_CLUSTER_DEBUG") != ""
 
-var debugStart = time.Now()
+var debugStart = time.Now() //sidco:nondet debug-log timestamps never feed computation
 
+// dbg prints one debug line when SIDCO_CLUSTER_DEBUG is set.
+//
+//sidco:nondet stderr debug timeline, gated off by default
 func dbg(format string, args ...any) {
 	if !debugOn {
 		return

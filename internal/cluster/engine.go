@@ -145,6 +145,8 @@ func (w Wire) String() string {
 
 // ParseWire resolves a wire format name (the String values) — the
 // -format flag of cmd/sidco-node.
+//
+//sidco:errclass flag validation, deliberately fatal
 func ParseWire(name string) (Wire, error) {
 	for w := WireLossless; w <= WirePairsI8; w++ {
 		if w.String() == name {
@@ -155,6 +157,8 @@ func ParseWire(name string) (Wire, error) {
 }
 
 // Format maps the wire selector onto its encoding format.
+//
+//sidco:errclass config validation, deliberately fatal
 func (w Wire) Format() (encoding.Format, error) {
 	switch w {
 	case WireLossless:
@@ -182,6 +186,8 @@ func (w Wire) Format() (encoding.Format, error) {
 // selected collective, shared by Engine and Node construction. Auto is
 // accepted: it resolves to the all-gather on every sparse exchange, and
 // the per-exchange resolution re-validates if a dense round slips in.
+//
+//sidco:errclass config validation, deliberately fatal
 func validateChunks(chunks int, c netsim.Collective) error {
 	if chunks < 0 {
 		return fmt.Errorf("cluster: Chunks = %d, need >= 0", chunks)
@@ -200,6 +206,8 @@ func validateChunks(chunks int, c netsim.Collective) error {
 // outcome. Resolution happens once per round, never per node — per-node
 // resolution could diverge on a mixed dense/sparse input set and
 // deadlock the schedule.
+//
+//sidco:errclass config validation, deliberately fatal
 func resolveCollective(c netsim.Collective, sparse bool, chunks int) (netsim.Collective, error) {
 	if c == netsim.CollectiveAuto {
 		if sparse {
@@ -259,6 +267,8 @@ type Engine struct {
 
 // New validates cfg, builds the transport and starts the node
 // goroutines. Callers must Close the engine to stop them.
+//
+//sidco:errclass construction-time config validation, deliberately fatal
 func New(cfg Config) (*Engine, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("cluster: Workers = %d, need >= 1", cfg.Workers)
@@ -353,10 +363,10 @@ func (e *Engine) Close() error {
 // copies the agreed mean into agg.
 func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) error {
 	if e.closed {
-		return fmt.Errorf("cluster: exchange on closed engine")
+		return fmt.Errorf("cluster: exchange on closed engine: %w", ErrClosed)
 	}
 	if len(ins) != e.cfg.Workers {
-		return fmt.Errorf("cluster: %d inputs for %d workers", len(ins), e.cfg.Workers)
+		return fmt.Errorf("cluster: %d inputs for %d workers", len(ins), e.cfg.Workers) //sidco:errclass caller misuse, deliberately fatal
 	}
 	coll, err := resolveCollective(e.cfg.Collective, ins[0].Sparse != nil, e.cfg.Chunks)
 	if err != nil {
@@ -386,7 +396,7 @@ func (e *Engine) Exchange(step int, ins []dist.ExchangeInput, agg []float64) err
 	e.sched.tp.SetStep(int64(step))
 	var deadline time.Time
 	if e.cfg.StepTimeout > 0 {
-		deadline = time.Now().Add(e.cfg.StepTimeout)
+		deadline = time.Now().Add(e.cfg.StepTimeout) //sidco:nondet fault-detection deadline, never feeds gradient math
 	}
 	for w, in := range ins {
 		e.jobs[w] <- job{step: step, sparse: in.Sparse, dense: in.Dense, dim: len(agg), coll: coll, deadline: deadline}

@@ -39,7 +39,7 @@ type FaultTransport struct {
 	step  atomic.Int64
 
 	mu   sync.Mutex
-	sent map[Link]int // successful sends per killable link
+	sent map[Link]int // guarded by mu; successful sends per killable link
 }
 
 // NewFaultTransport wraps inner with plan. The zero plan injects

@@ -42,6 +42,8 @@ func memberPos(members []int, id int) int {
 
 // checkMember validates a group schedule call: members must be
 // non-empty, within the transport, and contain self.
+//
+//sidco:errclass caller-misuse validation, deliberately fatal
 func checkMember(tp Transport, members []int, self int) (pos int, err error) {
 	if len(members) < 1 {
 		return -1, fmt.Errorf("cluster: empty member group")

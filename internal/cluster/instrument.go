@@ -87,19 +87,19 @@ type Instrumented struct {
 	step  atomic.Int64 // current training step for emitted message events, -1 outside steps
 
 	mu         sync.Mutex
-	stats      map[Link]*LinkStats
-	rstats     map[Link]*LinkStats
-	totalMsgs  int
-	totalBytes int
-	recvMsgs   int
-	recvBytes  int
-	clock      []float64 // per-node logical progress time
-	txBusy     []float64 // per-node send-NIC busy-until
-	rxBusy     []float64 // per-node receive-NIC busy-until
-	pipeBusy   []float64 // per-node compressor-lane busy-until
-	stamps     map[Link][]float64
-	sendSeq    map[Link]int64 // next send sequence per directed link
-	recvSeq    map[Link]int64 // next recv sequence per directed link
+	stats      map[Link]*LinkStats // guarded by mu
+	rstats     map[Link]*LinkStats // guarded by mu
+	totalMsgs  int                 // guarded by mu
+	totalBytes int                 // guarded by mu
+	recvMsgs   int                 // guarded by mu
+	recvBytes  int                 // guarded by mu
+	clock      []float64           // guarded by mu (elements); per-node logical progress time
+	txBusy     []float64           // guarded by mu (elements); per-node send-NIC busy-until
+	rxBusy     []float64           // guarded by mu (elements); per-node receive-NIC busy-until
+	pipeBusy   []float64           // guarded by mu (elements); per-node compressor-lane busy-until
+	stamps     map[Link][]float64  // guarded by mu
+	sendSeq    map[Link]int64      // guarded by mu; next send sequence per directed link
+	recvSeq    map[Link]int64      // guarded by mu; next recv sequence per directed link
 }
 
 // NewInstrumented wraps inner. scen may be nil to count traffic without
@@ -269,7 +269,7 @@ func (t *Instrumented) Close() error { return t.inner.Close() }
 // scenario's straggler factor — the knob that makes one slow machine
 // drag a synchronous step.
 func (t *Instrumented) Compute(node int, seconds float64) {
-	if t.scen == nil || node < 0 || node >= len(t.clock) {
+	if t.scen == nil || node < 0 || node >= len(t.clock) { //sidco:nolock clock slice header is immutable after construction; only elements are guarded
 		return
 	}
 	t.mu.Lock()
@@ -299,7 +299,7 @@ func (t *Instrumented) straggler(node int) float64 {
 // they model the chunked pipeline, where compressing chunk i+1 hides
 // behind chunk i's in-flight collective.
 func (t *Instrumented) ComputeOverlap(node int, seconds float64) float64 {
-	if t.scen == nil || node < 0 || node >= len(t.clock) {
+	if t.scen == nil || node < 0 || node >= len(t.clock) { //sidco:nolock clock slice header is immutable after construction; only elements are guarded
 		return 0
 	}
 	t.mu.Lock()
@@ -321,7 +321,7 @@ func (t *Instrumented) ComputeOverlap(node int, seconds float64) float64 {
 // a completion time returned by ComputeOverlap: the point where a
 // dependent send becomes ready.
 func (t *Instrumented) WaitFor(node int, ts float64) {
-	if t.scen == nil || node < 0 || node >= len(t.clock) {
+	if t.scen == nil || node < 0 || node >= len(t.clock) { //sidco:nolock clock slice header is immutable after construction; only elements are guarded
 		return
 	}
 	t.mu.Lock()
@@ -382,8 +382,12 @@ func (t *Instrumented) Elapsed() float64 {
 }
 
 // NodeTime returns one node's virtual clock.
+//
+//sidco:errclass caller-misuse validation, deliberately fatal
 func (t *Instrumented) NodeTime(node int) (float64, error) {
-	if node < 0 || node >= len(t.clock) {
+	// The slice header itself is immutable after construction; only the
+	// element values are guarded by mu.
+	if node < 0 || node >= len(t.clock) { //sidco:nolock immutable slice header, bounds check only
 		return 0, fmt.Errorf("cluster: node %d outside %d", node, len(t.clock))
 	}
 	t.mu.Lock()

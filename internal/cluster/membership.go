@@ -97,7 +97,7 @@ func recvDeadline(tp Transport, to, from int, deadline time.Time) ([]byte, error
 	if deadline.IsZero() || !ok {
 		return tp.Recv(to, from)
 	}
-	remaining := time.Until(deadline)
+	remaining := time.Until(deadline) //sidco:nondet converts a fault-detection deadline to a timeout
 	if remaining < 0 {
 		remaining = 0
 	}
@@ -169,9 +169,9 @@ func (ng *negotiator) frameFrom(tp Transport, self, id int, epoch, round uint32,
 	if f, ok := ng.stash[id]; ok && (f.epoch > epoch || (f.epoch == epoch && f.round >= round)) {
 		return f, true, nil
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //sidco:nondet renegotiation deadline, fault path only
 	for {
-		remaining := time.Until(deadline)
+		remaining := time.Until(deadline) //sidco:nondet renegotiation deadline, fault path only
 		if remaining < 0 {
 			remaining = 0
 		}
@@ -219,7 +219,7 @@ func (ng *negotiator) frameFrom(tp Transport, self, id int, epoch, round uint32,
 func (ng *negotiator) renegotiate(tp Transport, self int, members []int, epoch uint32, timeout time.Duration) ([]int, error) {
 	view := append([]int(nil), members...)
 	if memberPos(view, self) < 0 {
-		return nil, fmt.Errorf("cluster: node %d renegotiating a group it is not in (%v)", self, members)
+		return nil, fmt.Errorf("cluster: node %d renegotiating a group it is not in (%v)", self, members) //sidco:errclass caller misuse, deliberately fatal
 	}
 	// One sender goroutine per peer: frames to the same peer stay ordered
 	// (a single goroutine per link, and Send serialises per link), while a

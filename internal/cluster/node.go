@@ -91,7 +91,7 @@ func (s *sched) runCollective(w int, jb job, sc *nodeScratch, out []float64) err
 			jb.sparse.AddTo(out)
 		} else {
 			if len(jb.dense) != jb.dim {
-				return fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
+				return fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim) //sidco:errclass geometry violation means a buggy caller, deliberately fatal
 			}
 			copy(out, jb.dense)
 		}
@@ -127,13 +127,13 @@ func (s *sched) runCollective(w int, jb job, sc *nodeScratch, out []float64) err
 			return fmt.Errorf("decoding server reply: %w", err)
 		}
 		if sc.dec.Dim != jb.dim {
-			return fmt.Errorf("server reply has dim %d, want %d", sc.dec.Dim, jb.dim)
+			return fmt.Errorf("server reply has dim %d, want %d", sc.dec.Dim, jb.dim) //sidco:errclass geometry violation means a buggy peer, deliberately fatal
 		}
 		tensor.Zero(out)
 		sc.dec.AddTo(out)
 		return nil
 	}
-	return fmt.Errorf("unreachable collective")
+	return fmt.Errorf("unreachable collective") //sidco:errclass internal invariant, deliberately fatal
 }
 
 // runAllGather executes the (optionally chunked) sparse all-gather for
@@ -247,7 +247,7 @@ func (s *sched) runAllGather(w int, jb job, sc *nodeScratch, out []float64) erro
 					return fmt.Errorf("decoding origin %d chunk %d: %w", members[origin], c, err)
 				}
 				if sc.decs[origin].Dim != jb.dim {
-					return fmt.Errorf("origin %d has dim %d, want %d", members[origin], sc.decs[origin].Dim, jb.dim)
+					return fmt.Errorf("origin %d has dim %d, want %d", members[origin], sc.decs[origin].Dim, jb.dim) //sidco:errclass geometry violation means a buggy peer, deliberately fatal
 				}
 				sc.decs[origin].AddTo(out)
 			}
@@ -257,7 +257,7 @@ func (s *sched) runAllGather(w int, jb job, sc *nodeScratch, out []float64) erro
 					return fmt.Errorf("decoding origin %d chunk %d: %w", members[origin], c, err)
 				}
 				if sc.dec.Dim != jb.dim {
-					return fmt.Errorf("origin %d has dim %d, want %d", members[origin], sc.dec.Dim, jb.dim)
+					return fmt.Errorf("origin %d has dim %d, want %d", members[origin], sc.dec.Dim, jb.dim) //sidco:errclass geometry violation means a buggy peer, deliberately fatal
 				}
 				sc.dec.AddTo(out)
 			}
@@ -276,7 +276,7 @@ func (s *sched) localSparse(jb job, sc *nodeScratch) (*tensor.Sparse, error) {
 		return jb.sparse, nil
 	}
 	if len(jb.dense) != jb.dim {
-		return nil, fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim)
+		return nil, fmt.Errorf("dense gradient has %d elements, want %d", len(jb.dense), jb.dim) //sidco:errclass geometry violation means a buggy caller, deliberately fatal
 	}
 	for i := len(sc.ident); i < jb.dim; i++ {
 		sc.ident = append(sc.ident, int32(i))
@@ -319,7 +319,7 @@ func (s *psServer) round(tp Transport, recv linkRecv, server int, workers []int,
 			}
 			tensor.Zero(s.acc)
 		} else if s.dec.Dim != s.dim {
-			return fmt.Errorf("worker %d pushed dim %d, want %d", worker, s.dec.Dim, s.dim)
+			return fmt.Errorf("worker %d pushed dim %d, want %d", worker, s.dec.Dim, s.dim) //sidco:errclass geometry violation means a buggy peer, deliberately fatal
 		}
 		// Worker-index arrival order (psServeGroup receives in ascending
 		// member order) keeps the sum bit-identical to the in-process
@@ -453,6 +453,8 @@ type Node struct {
 }
 
 // NewNode validates cfg and binds the node to its transport.
+//
+//sidco:errclass construction-time config validation, deliberately fatal
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("cluster: Workers = %d, need >= 1", cfg.Workers)
@@ -531,16 +533,16 @@ func (n *Node) Transport() *Instrumented { return n.sched.tp }
 // per-link FIFO keeps successive steps from interleaving.
 func (n *Node) Exchange(step int, ins []dist.ExchangeInput, agg []float64) error {
 	if n.closed {
-		return fmt.Errorf("cluster: exchange on closed node")
+		return fmt.Errorf("cluster: exchange on closed node: %w", ErrClosed)
 	}
 	if n.cfg.Rank >= n.cfg.Workers {
-		return fmt.Errorf("cluster: exchange on the server node (rank %d); run Serve instead", n.cfg.Rank)
+		return fmt.Errorf("cluster: exchange on the server node (rank %d); run Serve instead", n.cfg.Rank) //sidco:errclass caller misuse, deliberately fatal
 	}
 	if len(ins) != 1 {
-		return fmt.Errorf("cluster: node exchange got %d inputs, hosts exactly 1 worker", len(ins))
+		return fmt.Errorf("cluster: node exchange got %d inputs, hosts exactly 1 worker", len(ins)) //sidco:errclass caller misuse, deliberately fatal
 	}
 	if ins[0].Worker != n.cfg.Rank {
-		return fmt.Errorf("cluster: node %d handed worker %d's gradient (is the trainer's FirstWorker set to the rank?)", n.cfg.Rank, ins[0].Worker)
+		return fmt.Errorf("cluster: node %d handed worker %d's gradient (is the trainer's FirstWorker set to the rank?)", n.cfg.Rank, ins[0].Worker) //sidco:errclass caller misuse, deliberately fatal
 	}
 	coll, err := resolveCollective(n.cfg.Collective, ins[0].Sparse != nil, n.cfg.Chunks)
 	if err != nil {
@@ -586,6 +588,8 @@ func (n *Node) workerMembers() []int {
 }
 
 // stepDeadline computes the receive deadline of one schedule run.
+//
+//sidco:nondet fault-detection deadline, never feeds gradient math
 func (n *Node) stepDeadline() time.Time {
 	if n.cfg.StepTimeout <= 0 {
 		return time.Time{}
@@ -614,10 +618,10 @@ func (n *Node) recover(cause error) error {
 	n.epoch++
 	n.group = view
 	if n.sched.server >= 0 && memberPos(view, n.sched.server) < 0 {
-		return fmt.Errorf("cluster: parameter server lost — a PS deployment cannot recover without its server")
+		return fmt.Errorf("cluster: parameter server lost — a PS deployment cannot recover without its server") //sidco:errclass lost server is unrecoverable under PS, deliberately fatal
 	}
 	if len(n.workerMembers()) < 1 {
-		return fmt.Errorf("cluster: no workers left in the renegotiated group %v", view)
+		return fmt.Errorf("cluster: no workers left in the renegotiated group %v", view) //sidco:errclass empty worker set is unrecoverable, deliberately fatal
 	}
 	return nil
 }
@@ -630,10 +634,10 @@ func (n *Node) recover(cause error) error {
 // the gradient-traffic counters the netsim cross-checks compare.
 func (n *Node) MeanScalar(x float64) (float64, error) {
 	if n.closed {
-		return 0, fmt.Errorf("cluster: scalar reduce on closed node")
+		return 0, fmt.Errorf("cluster: scalar reduce on closed node: %w", ErrClosed)
 	}
 	if n.cfg.Rank >= n.cfg.Workers {
-		return 0, fmt.Errorf("cluster: scalar reduce on the server node (rank %d)", n.cfg.Rank)
+		return 0, fmt.Errorf("cluster: scalar reduce on the server node (rank %d)", n.cfg.Rank) //sidco:errclass caller misuse, deliberately fatal
 	}
 	binary.LittleEndian.PutUint64(n.scalar[:], math.Float64bits(x))
 	for attempt := 0; ; attempt++ {
@@ -649,7 +653,7 @@ func (n *Node) MeanScalar(x float64) (float64, error) {
 			for pos := range members {
 				if len(sgath[pos]) != 8 {
 					n.Close()
-					return 0, fmt.Errorf("cluster: node %d scalar reduce: origin %d payload has %d bytes", n.cfg.Rank, members[pos], len(sgath[pos]))
+					return 0, fmt.Errorf("cluster: node %d scalar reduce: origin %d payload has %d bytes", n.cfg.Rank, members[pos], len(sgath[pos])) //sidco:errclass geometry violation means a buggy peer, deliberately fatal
 				}
 				sum += math.Float64frombits(binary.LittleEndian.Uint64(sgath[pos]))
 			}
@@ -676,7 +680,7 @@ func (n *Node) MeanScalar(x float64) (float64, error) {
 // transport, so unbounded serving needs an external Close.
 func (n *Node) Serve(rounds int) error {
 	if n.cfg.Rank != n.cfg.Workers || n.cfg.Collective != netsim.CollectivePS {
-		return fmt.Errorf("cluster: Serve on rank %d, want the server rank %d under PS", n.cfg.Rank, n.cfg.Workers)
+		return fmt.Errorf("cluster: Serve on rank %d, want the server rank %d under PS", n.cfg.Rank, n.cfg.Workers) //sidco:errclass caller misuse, deliberately fatal
 	}
 	var srv psServer
 	for served := 0; rounds <= 0 || served < rounds; served++ {

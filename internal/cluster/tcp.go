@@ -84,12 +84,12 @@ type TCPTransport struct {
 	once  sync.Once
 
 	mu    sync.Mutex
-	sends map[Link]*tcpSendLink
-	conns map[net.Conn]struct{}
+	sends map[Link]*tcpSendLink // guarded by mu
+	conns map[net.Conn]struct{} // guarded by mu
 	wg    sync.WaitGroup
 
 	hsMu   sync.Mutex
-	hsErrs []error // accept-side handshake failures, per connection
+	hsErrs []error // guarded by hsMu; accept-side handshake failures, per connection
 }
 
 // tcpSendLink is the sender half of one directed link: the lazily
@@ -98,14 +98,16 @@ type TCPTransport struct {
 // frame stream).
 type tcpSendLink struct {
 	mu   sync.Mutex
-	conn net.Conn
-	seq  int64 // next wire sequence number; the handshake took 0
-	err  error // sticky dial failure
+	conn net.Conn // guarded by mu
+	seq  int64    // guarded by mu; next wire sequence number; the handshake took 0
+	err  error    // guarded by mu; sticky dial failure
 }
 
 // NewTCPTransport binds a listener for every hosted node and starts
 // their accept loops. Connections are dialed lazily on first Send per
 // link. Callers must Close the transport to release the sockets.
+//
+//sidco:errclass construction-time config validation, deliberately fatal
 func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 	n := len(cfg.Addrs)
 	if n < 1 {
@@ -171,6 +173,8 @@ func (t *TCPTransport) Nodes() int { return t.n }
 // Addr returns the address node listens on (with any port 0 resolved to
 // the bound port) — what a single-process launcher passes to the host
 // list of its children.
+//
+//sidco:errclass caller-misuse validation, deliberately fatal
 func (t *TCPTransport) Addr(node int) (string, error) {
 	if node < 0 || node >= t.n {
 		return "", fmt.Errorf("cluster: node %d outside %d nodes", node, t.n)
@@ -187,6 +191,9 @@ func (t *TCPTransport) closed() bool {
 	}
 }
 
+// check validates a link's endpoints.
+//
+//sidco:errclass caller-misuse validation, deliberately fatal
 func (t *TCPTransport) check(from, to int) error {
 	if from < 0 || from >= t.n || to < 0 || to >= t.n {
 		return fmt.Errorf("cluster: link %d->%d outside %d nodes", from, to, t.n)
@@ -207,10 +214,10 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 		return err
 	}
 	if !t.local[from] {
-		return fmt.Errorf("cluster: send from node %d, which this transport does not host", from)
+		return fmt.Errorf("cluster: send from node %d, which this transport does not host", from) //sidco:errclass caller misuse, deliberately fatal
 	}
 	if len(payload) > tcpMaxFrame {
-		return fmt.Errorf("cluster: send %d->%d: payload %d bytes exceeds frame limit", from, to, len(payload))
+		return fmt.Errorf("cluster: send %d->%d: payload %d bytes exceeds frame limit", from, to, len(payload)) //sidco:errclass caller misuse, deliberately fatal
 	}
 	if t.closed() {
 		return fmt.Errorf("cluster: send %d->%d: %w", from, to, ErrClosed)
@@ -273,7 +280,7 @@ func (t *TCPTransport) sendLink(from, to int) *tcpSendLink {
 // connections are retried with backoff until DialTimeout.
 func (t *TCPTransport) dial(from, to int) (net.Conn, error) {
 	span := t.tel.Begin(telemetry.SpanDial, from, to, -1, -1)
-	deadline := time.Now().Add(t.dialTimeout)
+	deadline := time.Now().Add(t.dialTimeout) //sidco:nondet dial deadline, connection setup only
 	backoff := 10 * time.Millisecond
 	for {
 		if t.closed() {
@@ -303,7 +310,7 @@ func (t *TCPTransport) dial(from, to int) (net.Conn, error) {
 			span.End() // only successful establishments are recorded
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //sidco:nondet dial deadline, connection setup only
 			if t.closed() {
 				return nil, fmt.Errorf("cluster: dial %d->%d: %w", from, to, ErrClosed)
 			}
@@ -328,7 +335,7 @@ func (t *TCPTransport) Recv(to, from int) ([]byte, error) {
 		return nil, err
 	}
 	if !t.local[to] {
-		return nil, fmt.Errorf("cluster: recv at node %d, which this transport does not host", to)
+		return nil, fmt.Errorf("cluster: recv at node %d, which this transport does not host", to) //sidco:errclass caller misuse, deliberately fatal
 	}
 	ch := t.inbox[Link{from, to}]
 	deliver := func(p []byte) ([]byte, error) {
@@ -373,7 +380,7 @@ func (t *TCPTransport) RecvTimeout(to, from int, timeout time.Duration) ([]byte,
 		return nil, err
 	}
 	if !t.local[to] {
-		return nil, fmt.Errorf("cluster: recv at node %d, which this transport does not host", to)
+		return nil, fmt.Errorf("cluster: recv at node %d, which this transport does not host", to) //sidco:errclass caller misuse, deliberately fatal
 	}
 	ch := t.inbox[Link{from, to}]
 	deliver := func(p []byte) ([]byte, error) {
@@ -394,7 +401,7 @@ func (t *TCPTransport) RecvTimeout(to, from int, timeout time.Duration) ([]byte,
 		return deliver(p)
 	default:
 	}
-	timer := time.NewTimer(timeout)
+	timer := time.NewTimer(timeout) //sidco:nondet receive timeout, fault detection only
 	defer timer.Stop()
 	select {
 	case p := <-ch:
@@ -445,7 +452,7 @@ func (t *TCPTransport) acceptLoop(node int, ln net.Listener) {
 // fast instead of waiting on a dead peer forever.
 func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 	defer t.wg.Done()
-	conn.SetReadDeadline(time.Now().Add(t.dialTimeout))
+	conn.SetReadDeadline(time.Now().Add(t.dialTimeout)) //sidco:nondet handshake read deadline, connection setup only
 	var hs [12]byte
 	if _, err := io.ReadFull(conn, hs[:]); err != nil {
 		// A connection that was accepted but never finished the handshake

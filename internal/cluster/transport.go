@@ -134,6 +134,8 @@ const linkDepth = 4
 
 // NewChanTransport builds a channel transport connecting nodes
 // 0..nodes-1 with an all-to-all directed link mesh.
+//
+//sidco:errclass construction-time config validation, deliberately fatal
 func NewChanTransport(nodes int) (*ChanTransport, error) {
 	if nodes < 1 {
 		return nil, fmt.Errorf("cluster: %d nodes", nodes)
@@ -155,6 +157,9 @@ func NewChanTransport(nodes int) (*ChanTransport, error) {
 // Nodes implements Transport.
 func (t *ChanTransport) Nodes() int { return t.n }
 
+// check validates a link's endpoints.
+//
+//sidco:errclass caller-misuse validation, deliberately fatal
 func (t *ChanTransport) check(from, to int) error {
 	if from < 0 || from >= t.n || to < 0 || to >= t.n {
 		return fmt.Errorf("cluster: link %d->%d outside %d nodes", from, to, t.n)
@@ -229,7 +234,7 @@ func (t *ChanTransport) RecvTimeout(to, from int, timeout time.Duration) ([]byte
 		return p, nil
 	default:
 	}
-	timer := time.NewTimer(timeout)
+	timer := time.NewTimer(timeout) //sidco:nondet receive timeout, fault detection only
 	defer timer.Stop()
 	select {
 	case p := <-t.links[from][to]:

@@ -10,11 +10,17 @@
 package compress
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/tensor"
 )
+
+// errEmptyGradient is hoisted to package level so the zero-alloc
+// CompressInto hot paths can reject empty input without constructing
+// an error value per call.
+var errEmptyGradient = errors.New("compress: empty gradient")
 
 // Compressor selects a sparse subset of a gradient vector targeting a
 // compression ratio delta = k/d.
@@ -146,7 +152,7 @@ func TargetKChunks(d int, delta float64, chunks int) []int {
 
 func validate(g []float64, delta float64) error {
 	if len(g) == 0 {
-		return fmt.Errorf("compress: empty gradient")
+		return errEmptyGradient
 	}
 	if math.IsNaN(delta) || delta <= 0 || delta > 1 {
 		return fmt.Errorf("compress: ratio %v outside (0, 1]", delta)
@@ -167,9 +173,11 @@ func (n None) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 }
 
 // CompressInto implements Compressor.
+//
+//sidco:hotpath
 func (None) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if len(g) == 0 {
-		return fmt.Errorf("compress: empty gradient")
+		return errEmptyGradient
 	}
 	dst.Reset(len(g))
 	dst.Grow(len(g))
@@ -204,6 +212,8 @@ func (t *TopK) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 }
 
 // CompressInto implements Compressor.
+//
+//sidco:hotpath
 func (t *TopK) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
 		return err
@@ -230,9 +240,11 @@ func (t Threshold) Compress(g []float64, delta float64) (*tensor.Sparse, error) 
 }
 
 // CompressInto implements Compressor; delta is ignored.
+//
+//sidco:hotpath
 func (t Threshold) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if len(g) == 0 {
-		return fmt.Errorf("compress: empty gradient")
+		return errEmptyGradient
 	}
 	dst.Reset(len(g))
 	dst.Idx, dst.Vals = tensor.FilterAboveThreshold(g, t.Eta, dst.Idx, dst.Vals)

@@ -57,6 +57,8 @@ func (c *DGC) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 }
 
 // CompressInto implements Compressor.
+//
+//sidco:hotpath
 func (c *DGC) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
 		return err
@@ -73,7 +75,7 @@ func (c *DGC) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error
 		s = d
 	}
 	if cap(c.sample) < s {
-		c.sample = make([]float64, s)
+		c.sample = make([]float64, s) //sidco:alloc sample scratch grows to its high-water mark, then steady state reuses it
 	}
 	sample := c.sample[:s]
 	for i := range sample {

@@ -73,14 +73,16 @@ func (e *ErrorFeedback) Compress(g []float64, delta float64) (*tensor.Sparse, er
 // CompressInto implements Compressor, delegating the selection to the
 // wrapped compressor's fast path. The residual bookkeeping itself is
 // allocation-free after the first call.
+//
+//sidco:hotpath
 func (e *ErrorFeedback) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	d := len(g)
 	if e.residual == nil {
-		e.residual = make([]float64, d)
-		e.buf = make([]float64, d)
+		e.residual = make([]float64, d) //sidco:alloc first-call lazy init of the persistent residual
+		e.buf = make([]float64, d)      //sidco:alloc first-call lazy init of the persistent scratch
 	}
 	if len(e.residual) != d {
-		return fmt.Errorf("compress: EC residual dimension changed from %d to %d", len(e.residual), d)
+		return fmt.Errorf("compress: EC residual dimension changed from %d to %d", len(e.residual), d) //sidco:alloc misuse error path, not steady state
 	}
 
 	corrected := e.buf
@@ -95,7 +97,7 @@ func (e *ErrorFeedback) CompressInto(dst *tensor.Sparse, g []float64, delta floa
 		copy(corrected, g)
 		tensor.Add(e.residual, corrected)
 	} else {
-		par.Do(p, func(w int) {
+		par.Do(p, func(w int) { //sidco:alloc P>1 fan-out only; the zero-alloc P=1 path is written out above
 			lo, hi := par.RangeBounds(d, p, w)
 			copy(corrected[lo:hi], g[lo:hi])
 			tensor.Add(e.residual[lo:hi], corrected[lo:hi])
@@ -118,7 +120,7 @@ func (e *ErrorFeedback) CompressInto(dst *tensor.Sparse, g []float64, delta floa
 	if p == 1 {
 		copy(e.residual, corrected)
 	} else {
-		par.Do(p, func(w int) {
+		par.Do(p, func(w int) { //sidco:alloc P>1 fan-out only; the zero-alloc P=1 path is written out above
 			lo, hi := par.RangeBounds(d, p, w)
 			copy(e.residual[lo:hi], corrected[lo:hi])
 		})

@@ -61,6 +61,8 @@ func (c *GaussianKSGD) Compress(g []float64, delta float64) (*tensor.Sparse, err
 }
 
 // CompressInto implements Compressor.
+//
+//sidco:hotpath
 func (c *GaussianKSGD) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
 		return err

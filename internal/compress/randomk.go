@@ -39,6 +39,8 @@ func (r *RandomK) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 }
 
 // CompressInto implements Compressor.
+//
+//sidco:hotpath
 func (r *RandomK) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
 		return err

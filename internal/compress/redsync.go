@@ -53,6 +53,8 @@ func (r *RedSync) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 }
 
 // CompressInto implements Compressor.
+//
+//sidco:hotpath
 func (r *RedSync) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if err := validate(g, delta); err != nil {
 		return err

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -13,6 +14,11 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
+
+// errEmptyGradient is hoisted to package level so the zero-alloc
+// CompressInto hot path can reject empty input without constructing an
+// error value per call.
+var errEmptyGradient = errors.New("sidco: empty gradient")
 
 // SID selects the sparsity-inducing distribution family used for fitting.
 type SID int
@@ -184,12 +190,14 @@ func (s *SIDCo) Compress(g []float64, delta float64) (*tensor.Sparse, error) {
 // CompressInto implements compress.Compressor: Algorithm 1's Sparsify
 // over caller-owned sparse storage, with the fit and exceedance scratch
 // reused across iterations.
+//
+//sidco:hotpath
 func (s *SIDCo) CompressInto(dst *tensor.Sparse, g []float64, delta float64) error {
 	if len(g) == 0 {
-		return fmt.Errorf("sidco: empty gradient")
+		return errEmptyGradient
 	}
 	if math.IsNaN(delta) || delta <= 0 || delta > 1 {
-		return fmt.Errorf("sidco: ratio %v outside (0, 1]", delta)
+		return fmt.Errorf("sidco: ratio %v outside (0, 1]", delta) //sidco:alloc input-validation error path, not steady state
 	}
 	d := len(g)
 	k := compress.TargetK(d, delta)
@@ -213,11 +221,12 @@ func (s *SIDCo) CompressInto(dst *tensor.Sparse, g []float64, delta float64) err
 	// estimation-quality dynamics the paper reports (deviations within
 	// ~2x) are untouched.
 	s.lastRescued = false
+	//sidco:alloc non-escaping closures, stack-allocated; AllocsPerRun pins the steady state at zero
 	refilter := func() {
 		dst.Reset(d)
 		dst.Idx, dst.Vals = s.par.FilterAbove(g, eta, dst.Idx, dst.Vals)
 	}
-	collapsed := func(kh int) bool { return kh*3 < k || kh > 3*k }
+	collapsed := func(kh int) bool { return kh*3 < k || kh > 3*k } //sidco:alloc non-escaping closure, stack-allocated
 	if kHat := dst.NNZ(); collapsed(kHat) {
 		beta := s.stat.MeanAbs(g)
 		if beta > 0 {

@@ -233,6 +233,8 @@ func (t *Trainer) Params() []*nn.Param { return t.params }
 
 // localGradient runs one worker's half-step: batch draw, forward,
 // backward, clip, and compression. Only the model pass holds the mutex.
+//
+//sidco:hotpath
 func (t *Trainer) localGradient(w *worker) error {
 	// The model pass includes lock wait: with several workers the mutex
 	// serialises the passes, and that contention is part of what the
@@ -268,7 +270,7 @@ func (t *Trainer) localGradient(w *worker) error {
 	err := w.comp.CompressInto(w.sparse, w.flat, t.cfg.Delta)
 	ks.End()
 	if err != nil {
-		return fmt.Errorf("dist: worker %d: %w", w.id, err)
+		return fmt.Errorf("dist: worker %d: %w", w.id, err) //sidco:alloc compressor-failure error path, not steady state
 	}
 	w.ratio = float64(w.sparse.NNZ()) / float64(t.k)
 	return nil
@@ -299,6 +301,8 @@ func (t *Trainer) tapGradient(w *worker) {
 // stepWorker is the goroutine body of one worker's half-step. It is a
 // plain method (not a closure) so spawning it each step allocates
 // nothing.
+//
+//sidco:hotpath
 func (t *Trainer) stepWorker(w *worker) {
 	w.err = t.localGradient(w)
 	t.wg.Done()
@@ -306,6 +310,8 @@ func (t *Trainer) stepWorker(w *worker) {
 
 // Step runs one synchronous iteration and returns the mean training loss
 // across workers.
+//
+//sidco:hotpath
 func (t *Trainer) Step() (float64, error) {
 	ss := t.cfg.Telemetry.Begin(telemetry.SpanStep, t.cfg.FirstWorker, -1, -1, int64(t.iter))
 	if len(t.workers) == 1 {
@@ -316,7 +322,7 @@ func (t *Trainer) Step() (float64, error) {
 	} else {
 		t.wg.Add(len(t.workers))
 		for _, w := range t.workers {
-			go t.stepWorker(w)
+			go t.stepWorker(w) //sidco:alloc one spawn-bookkeeping object per worker, pinned by the Step alloc budget test
 		}
 		t.wg.Wait()
 	}
@@ -342,7 +348,7 @@ func (t *Trainer) Step() (float64, error) {
 	err := t.exchange.Exchange(t.iter, t.ins, t.agg)
 	xs.End()
 	if err != nil {
-		return 0, fmt.Errorf("dist: exchange at step %d: %w", t.iter, err)
+		return 0, fmt.Errorf("dist: exchange at step %d: %w", t.iter, err) //sidco:alloc exchange-failure error path, not steady state
 	}
 	inv := 1 / float64(len(t.workers))
 	loss *= inv

@@ -187,9 +187,11 @@ func Encode(s *tensor.Sparse, f Format) ([]byte, error) {
 // the returned buffer and pass `buf[:0]` back in amortise the wire
 // allocation away — the streaming pipeline encodes every chunk of every
 // step into recycled buffers this way.
+//
+//sidco:hotpath
 func EncodeTo(dst []byte, s *tensor.Sparse, f Format) ([]byte, error) {
 	if s.Dim > math.MaxUint32 || s.NNZ() > math.MaxUint32 {
-		return nil, fmt.Errorf("encoding: vector too large")
+		return nil, fmt.Errorf("encoding: vector too large") //sidco:alloc input-validation error path, not steady state
 	}
 	switch f {
 	case FormatPairs:
@@ -209,7 +211,7 @@ func EncodeTo(dst []byte, s *tensor.Sparse, f Format) ([]byte, error) {
 	case FormatPairsI8:
 		return appendPairsI8(dst, s), nil
 	default:
-		return nil, fmt.Errorf("encoding: unknown format %d", f)
+		return nil, fmt.Errorf("encoding: unknown format %d", f) //sidco:alloc input-validation error path, not steady state
 	}
 }
 
@@ -300,15 +302,17 @@ func Decode(buf []byte) (*tensor.Sparse, error) {
 // contents are never visible in the result — on error s may hold partial
 // data, but a nil error guarantees the full Sparse invariant (DecodeInto
 // re-validates untrusted index streams just as Decode did).
+//
+//sidco:hotpath
 func DecodeInto(s *tensor.Sparse, buf []byte) error {
 	if len(buf) < headerSize {
-		return fmt.Errorf("encoding: truncated header")
+		return fmt.Errorf("encoding: truncated header") //sidco:alloc corrupt-input error path, not steady state
 	}
 	f := Format(buf[0])
 	dim := int(binary.LittleEndian.Uint32(buf[1:5]))
 	nnz := int(binary.LittleEndian.Uint32(buf[5:9]))
 	if nnz > dim {
-		return fmt.Errorf("encoding: nnz %d exceeds dim %d", nnz, dim)
+		return fmt.Errorf("encoding: nnz %d exceeds dim %d", nnz, dim) //sidco:alloc corrupt-input error path, not steady state
 	}
 	switch f {
 	case FormatPairs:
@@ -328,7 +332,7 @@ func DecodeInto(s *tensor.Sparse, buf []byte) error {
 	case FormatPairsI8:
 		return decodePairsI8(s, buf, dim, nnz)
 	default:
-		return fmt.Errorf("encoding: unknown format byte %d", buf[0])
+		return fmt.Errorf("encoding: unknown format byte %d", buf[0]) //sidco:alloc corrupt-input error path, not steady state
 	}
 }
 

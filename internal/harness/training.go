@@ -13,6 +13,9 @@ import (
 
 func defaultNet() netsim.Network { return netsim.Cluster25GbE(8) }
 
+// now reads the wall clock for throughput reporting.
+//
+//sidco:nondet wall-clock benchmark measurement, reporting only
 func now() float64 { return float64(time.Now().UnixNano()) / 1e9 }
 
 // Table1Catalog prints the benchmark suite (Table 1).

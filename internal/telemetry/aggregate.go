@@ -29,6 +29,7 @@ type spanStats struct {
 	full    bool
 }
 
+//sidco:hotpath
 func (s *spanStats) add(durNS int64) {
 	s.count++
 	s.sum += durNS
@@ -36,7 +37,7 @@ func (s *spanStats) add(durNS int64) {
 		s.max = durNS
 	}
 	if s.ring == nil {
-		s.ring = make([]int64, 0, ringCap)
+		s.ring = make([]int64, 0, ringCap) //sidco:alloc one-time ring allocation on a span kind's first sample
 	}
 	if len(s.ring) < ringCap {
 		s.ring = append(s.ring, durNS)
@@ -93,10 +94,10 @@ type SpanSummary struct {
 // stream in, which is exactly what a live /metrics endpoint does.
 type Aggregator struct {
 	mu     sync.Mutex
-	spans  [numSpanKinds]spanStats
-	totals [numCounterKinds]int64
-	links  map[Link]*LinkCounters
-	nodes  map[int32]*NodeCounters
+	spans  [numSpanKinds]spanStats // guarded by mu
+	totals [numCounterKinds]int64  // guarded by mu
+	links  map[Link]*LinkCounters  // guarded by mu
+	nodes  map[int32]*NodeCounters // guarded by mu
 }
 
 // NewAggregator returns an empty aggregator.
@@ -108,6 +109,8 @@ func NewAggregator() *Aggregator {
 }
 
 // Emit implements Sink.
+//
+//sidco:hotpath
 func (a *Aggregator) Emit(e Event) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -132,7 +135,7 @@ func (a *Aggregator) Emit(e Event) {
 		CounterWireSentBytes, CounterWireRecvBytes, CounterDialRetries:
 		lc := a.links[Link{e.Node, e.Peer}]
 		if lc == nil {
-			lc = &LinkCounters{}
+			lc = &LinkCounters{} //sidco:alloc first sight of a link only; steady state hits the map
 			a.links[Link{e.Node, e.Peer}] = lc
 		}
 		switch e.Counter {
@@ -154,7 +157,7 @@ func (a *Aggregator) Emit(e Event) {
 	case CounterSteps, CounterRecvWaitNanos:
 		nc := a.nodes[e.Node]
 		if nc == nil {
-			nc = &NodeCounters{}
+			nc = &NodeCounters{} //sidco:alloc first sight of a node only; steady state hits the map
 			a.nodes[e.Node] = nc
 		}
 		if e.Counter == CounterSteps {

@@ -36,9 +36,9 @@ const SchemaVersion = 2
 // the owner of the underlying writer) once the tracer has quiesced.
 type JSONL struct {
 	mu  sync.Mutex
-	w   *bufio.Writer
-	buf []byte
-	err error // sticky write failure
+	w   *bufio.Writer // guarded by mu
+	buf []byte        // guarded by mu
+	err error         // guarded by mu; sticky write failure
 }
 
 // NewJSONL builds a JSONL sink over w with an unattributed meta record
@@ -50,15 +50,17 @@ func NewJSONL(w io.Writer) *JSONL { return NewJSONLForNode(w, -1) }
 // platform, and the wall-clock epoch (unix nanoseconds at the monotonic
 // origin all ts fields are offsets from).
 func NewJSONLForNode(w io.Writer, node int) *JSONL {
-	j := &JSONL{w: bufio.NewWriter(w), buf: make([]byte, 0, 256)}
+	j := &JSONL{w: bufio.NewWriter(w), buf: make([]byte, 0, 256)} //sidco:nolock constructor; j is not yet shared
 	_, err := fmt.Fprintf(j.w, `{"type":"meta","schema":%d,"node":%d,"goos":%q,"goarch":%q,"go":%q,"epoch_ns":%d}`+"\n",
 		SchemaVersion, node, runtime.GOOS, runtime.GOARCH, runtime.Version(), baseWall)
-	j.err = err
+	j.err = err //sidco:nolock constructor; j is not yet shared
 	return j
 }
 
 // Emit implements Sink. Write failures are sticky and reported by
 // Flush; telemetry must never fail the training run it observes.
+//
+//sidco:hotpath
 func (j *JSONL) Emit(e Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -228,14 +228,14 @@ type Sink interface {
 
 // base anchors all monotonic readings: timestamps are base's wall time
 // plus a monotonic offset, so durations are immune to wall-clock steps.
-var base = time.Now()
+var base = time.Now() //sidco:nondet telemetry clock origin, timestamps never feed training math
 var baseWall = base.UnixNano()
 
 // Monotonic returns nanoseconds since an arbitrary fixed origin,
 // strictly non-decreasing. Exposed so instrumentation outside this
 // package (the transports' receive-wait accounting) can measure
 // durations on the same clock spans use.
-func Monotonic() int64 { return int64(time.Since(base)) }
+func Monotonic() int64 { return int64(time.Since(base)) } //sidco:nondet telemetry timestamps never feed training math
 
 // Tracer fans events out to its sinks. The zero of *Tracer — nil — is
 // the disabled tracer: every method is a no-op and allocation-free, so
@@ -271,6 +271,8 @@ type Span struct {
 // Event's Value field: SpanEncode spans tag the wire encoding format
 // code, so traces attribute encode time per format. Chainable on the
 // Begin result and free on the zero Span (the value is simply dropped).
+//
+//sidco:hotpath
 func (s Span) WithValue(v int64) Span {
 	s.value = v
 	return s
@@ -279,6 +281,8 @@ func (s Span) WithValue(v int64) Span {
 // Begin starts a span of the given kind. node, peer and chunk may be -1
 // when the dimension does not apply; step is the training iteration or
 // -1. On a nil tracer it returns the zero Span.
+//
+//sidco:hotpath
 func (t *Tracer) Begin(kind SpanKind, node, peer, chunk int, step int64) Span {
 	if t == nil {
 		return Span{}
@@ -295,6 +299,8 @@ func (t *Tracer) Begin(kind SpanKind, node, peer, chunk int, step int64) Span {
 }
 
 // End completes the span and emits it. Safe on the zero Span.
+//
+//sidco:hotpath
 func (s Span) End() {
 	if s.t == nil {
 		return
@@ -317,6 +323,8 @@ func (s Span) End() {
 // Count emits a counter delta. Link-attributed counters pass the
 // directed link as (node, peer); node-attributed counters pass peer=-1.
 // Zero deltas are dropped. No-op on a nil tracer.
+//
+//sidco:hotpath
 func (t *Tracer) Count(kind CounterKind, node, peer int, delta int64) {
 	t.CountSeq(kind, node, peer, delta, -1, -1)
 }
@@ -325,6 +333,8 @@ func (t *Tracer) Count(kind CounterKind, node, peer int, delta int64) {
 // per-directed-link monotone sequence number and step the training
 // iteration the message belongs to (-1 when unknown). Kinds that are
 // not per-message pass through Count with seq = step = -1.
+//
+//sidco:hotpath
 func (t *Tracer) CountSeq(kind CounterKind, node, peer int, delta, seq, step int64) {
 	if t == nil || delta == 0 {
 		return
@@ -349,6 +359,8 @@ func (t *Tracer) CountSeq(kind CounterKind, node, peer int, delta, seq, step int
 // SpanCompute/SpanCompress for charged work (peer = -1, seq = -1).
 // startNanos/endNanos are float64 virtual nanoseconds. No-op on a nil
 // tracer.
+//
+//sidco:hotpath
 func (t *Tracer) Virtual(kind SpanKind, node, peer, chunk int, step, seq, value int64, startNanos, endNanos float64) {
 	if t == nil {
 		return
@@ -368,6 +380,7 @@ func (t *Tracer) Virtual(kind SpanKind, node, peer, chunk int, step, seq, value 
 	})
 }
 
+//sidco:hotpath
 func (t *Tracer) emit(e Event) {
 	for _, s := range t.sinks {
 		s.Emit(e)

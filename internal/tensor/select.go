@@ -72,6 +72,8 @@ func TopKSelect(g []float64, k int) (idx []int32, vals []float64) {
 // caller typically Resets first), reusing the Selector's scratch. The
 // selection — cutoff, tie-breaking, output order — is identical to
 // TopKSelect's.
+//
+//sidco:hotpath
 func (sel *Selector) TopKInto(dst *Sparse, g []float64, k int) {
 	d := len(g)
 	if k <= 0 || d == 0 {

@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/tensor"
@@ -28,8 +29,8 @@ type Recorder struct {
 	Normalize bool
 
 	mu   sync.Mutex
-	want map[int]struct{}
-	snap map[int][]float64
+	want map[int]struct{}  // immutable after NewRecorder; read lock-free
+	snap map[int][]float64 // guarded by mu
 }
 
 // NewRecorder records the given iterations (0-based).
@@ -72,7 +73,7 @@ func (r *Recorder) Snapshot(iter int) ([]float64, error) {
 	return s, nil
 }
 
-// Iterations returns the recorded iteration numbers in no particular
+// Iterations returns the recorded iteration numbers in ascending
 // order.
 func (r *Recorder) Iterations() []int {
 	r.mu.Lock()
@@ -81,5 +82,6 @@ func (r *Recorder) Iterations() []int {
 	for i := range r.snap {
 		out = append(out, i)
 	}
+	sort.Ints(out)
 	return out
 }

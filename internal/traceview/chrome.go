@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 
 	"repro/internal/telemetry"
 )
@@ -89,16 +90,33 @@ func BuildChromeTrace(tl *Timeline) *ChromeTrace {
 			PID: a.Node, TID: tid, Args: args,
 		})
 	}
+	// Metadata events emit in sorted (node, tid) order so the exported
+	// JSON is byte-identical across runs despite the map bookkeeping.
+	nodeIDs := make([]int32, 0, len(nodes))
 	for n := range nodes {
+		nodeIDs = append(nodeIDs, n)
+	}
+	slices.Sort(nodeIDs)
+	for _, n := range nodeIDs {
 		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
 			Name: "process_name", Ph: "M", PID: n,
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", n)},
 		})
 	}
-	for k, lane := range tids {
+	tidKeys := make([][2]int32, 0, len(tids))
+	for k := range tids {
+		tidKeys = append(tidKeys, k)
+	}
+	slices.SortFunc(tidKeys, func(a, b [2]int32) int {
+		if a[0] != b[0] {
+			return int(a[0]) - int(b[0])
+		}
+		return int(a[1]) - int(b[1])
+	})
+	for _, k := range tidKeys {
 		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
 			Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
-			Args: map[string]any{"name": lane},
+			Args: map[string]any{"name": tids[k]},
 		})
 	}
 	for i, m := range tl.Messages {

@@ -160,6 +160,27 @@ type msgDraft struct {
 	recvStep int64
 }
 
+// sortedPairKeys returns the draft map's keys in (from, to, seq) order
+// — the canonical message order every map-derived output follows so
+// assembly is deterministic.
+func sortedPairKeys(m map[pairKey]*msgDraft) []pairKey {
+	keys := make([]pairKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		return a.seq < b.seq
+	})
+	return keys
+}
+
 // Assemble merges the streams into one global timeline. It pairs sends
 // with receives by (from, to, seq) — exact, because every transport in
 // this repo is FIFO per directed link — estimates per-stream clock
@@ -280,9 +301,12 @@ func Assemble(streams []*Stream) (*Timeline, error) {
 	}
 
 	// In wall mode, materialize gradient messages as point/window
-	// activities so the timeline and Chrome export show them.
+	// activities so the timeline and Chrome export show them. Sorted
+	// key order keeps equal-Start activities (the SliceStable below
+	// preserves insertion order on ties) deterministic across runs.
 	if !tl.Virtual {
-		for _, d := range grad {
+		for _, k := range sortedPairKeys(grad) {
+			d := grad[k]
 			if d.m.HasSend {
 				d.m.SendAct = len(tl.Activities)
 				tl.Activities = append(tl.Activities, Activity{
@@ -303,20 +327,7 @@ func Assemble(streams []*Stream) (*Timeline, error) {
 	}
 
 	flatten := func(m map[pairKey]*msgDraft) ([]Message, error) {
-		keys := make([]pairKey, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			a, b := keys[i], keys[j]
-			if a.from != b.from {
-				return a.from < b.from
-			}
-			if a.to != b.to {
-				return a.to < b.to
-			}
-			return a.seq < b.seq
-		})
+		keys := sortedPairKeys(m)
 		out := make([]Message, 0, len(keys))
 		for _, k := range keys {
 			d := m[k]
